@@ -1,0 +1,159 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "common/check.h"
+#include "core/config.h"
+#include "core/generator.h"
+
+namespace genbase::bench {
+
+namespace {
+
+struct LoadedEngine {
+  std::unique_ptr<core::Engine> engine;
+  genbase::Status load_status;
+};
+
+std::map<int, core::GenBaseData>& DataCache() {
+  static auto* cache = new std::map<int, core::GenBaseData>();
+  return *cache;
+}
+
+std::map<std::string, LoadedEngine>& EngineCache() {
+  static auto* cache = new std::map<std::string, LoadedEngine>();
+  return *cache;
+}
+
+std::vector<core::CellResult>& Cells() {
+  static auto* cells = new std::vector<core::CellResult>();
+  return *cells;
+}
+
+core::CellResult RunOnCached(const std::string& cache_key,
+                             const std::function<std::unique_ptr<
+                                 core::Engine>()>& factory,
+                             core::QueryId query, core::DatasetSize size,
+                             int nodes) {
+  auto& slot = EngineCache()[cache_key];
+  if (slot.engine == nullptr) {
+    slot.engine = factory();
+    slot.load_status = slot.engine->LoadDataset(CachedData(size));
+  }
+  core::CellResult cell;
+  if (!slot.load_status.ok()) {
+    cell.engine = slot.engine->name();
+    cell.query = query;
+    cell.size = size;
+    cell.status = slot.load_status;
+    cell.infinite = slot.load_status.IsResourceFailure();
+    cell.supported = slot.engine->SupportsQuery(query);
+  } else {
+    cell = core::RunCell(slot.engine.get(), query, size,
+                         DefaultDriverOptions());
+  }
+  cell.nodes = nodes;
+  RecordCell(cell);
+  return cell;
+}
+
+}  // namespace
+
+const core::GenBaseData& CachedData(core::DatasetSize size) {
+  auto& cache = DataCache();
+  const int key = static_cast<int>(size);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto data =
+        core::GenerateDataset(size, core::SimConfig::Get().scale);
+    GENBASE_CHECK(data.ok());
+    it = cache.emplace(key, std::move(data).ValueOrDie()).first;
+  }
+  return it->second;
+}
+
+core::DriverOptions DefaultDriverOptions() {
+  core::DriverOptions options;
+  options.timeout_seconds = core::SimConfig::Get().timeout_seconds;
+  return options;
+}
+
+core::CellResult RunSingleNodeCell(
+    const std::string& engine_key,
+    const std::function<std::unique_ptr<core::Engine>()>& factory,
+    core::QueryId query, core::DatasetSize size) {
+  const std::string cache_key =
+      engine_key + "@" + core::DatasetSizeName(size);
+  return RunOnCached(cache_key, factory, query, size, 1);
+}
+
+core::CellResult RunClusterCell(const cluster::ClusterEngineOptions& options,
+                                core::QueryId query, core::DatasetSize size) {
+  const std::string cache_key =
+      options.name + (options.phi_offload ? "+phi" : "") + "/n" +
+      std::to_string(options.nodes) + "@" + core::DatasetSizeName(size);
+  return RunOnCached(
+      cache_key,
+      [&options]() -> std::unique_ptr<core::Engine> {
+        return std::make_unique<cluster::ClusterEngine>(options);
+      },
+      query, size, options.nodes);
+}
+
+void RecordCell(const core::CellResult& cell) { Cells().push_back(cell); }
+
+const std::vector<core::CellResult>& RecordedCells() { return Cells(); }
+
+const core::CellResult* FindCell(const std::string& engine,
+                                 core::QueryId query, core::DatasetSize size,
+                                 int nodes) {
+  for (const auto& c : Cells()) {
+    if (c.engine == engine && c.query == query && c.size == size &&
+        c.nodes == nodes) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+std::string CellDisplay(const std::string& engine, core::QueryId query,
+                        core::DatasetSize size, int nodes) {
+  const core::CellResult* c = FindCell(engine, query, size, nodes);
+  return c == nullptr ? "?" : c->Display();
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+void PrintBanner(const char* figure) {
+  const auto& c = core::SimConfig::Get();
+  std::printf("# GenBase reproduction — %s\n", figure);
+  std::printf(
+      "# scale=%.3g (paper dims x scale), timeout=%.0fs (paper: 7200s)\n",
+      c.scale, c.timeout_seconds);
+  for (core::DatasetSize s : kBenchSizes) {
+    const core::DatasetDims d = core::DimsFor(s, c.scale);
+    std::printf("#   %-6s: %lld genes x %lld patients (paper: %s)\n",
+                core::DatasetSizeName(s),
+                static_cast<long long>(d.genes),
+                static_cast<long long>(d.patients),
+                s == core::DatasetSize::kSmall    ? "5k x 5k"
+                : s == core::DatasetSize::kMedium ? "15k x 20k"
+                                                  : "30k x 40k");
+  }
+  std::printf(
+      "# modeled constants: net=%.0fMB/s lat=%.0fus, MR job=%.2gs, "
+      "UDF call=%.1gms, plpython cell=%.3gns, Phi gemm x%.2g bw x%.2g "
+      "pcie=%.0fGB/s\n",
+      c.net_bandwidth_bytes_per_s / 1e6, c.net_latency_s * 1e6,
+      c.mr_job_startup_s, c.udf_invocation_overhead_s * 1e3,
+      c.interpreted_cell_overhead_s * 1e9, c.phi_gemm_speedup,
+      c.phi_bandwidth_speedup, c.phi_transfer_bytes_per_s / 1e9);
+}
+
+}  // namespace genbase::bench

@@ -1,0 +1,61 @@
+#ifndef GENBASE_BENCH_BENCH_UTIL_H_
+#define GENBASE_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_engine.h"
+#include "core/datasets.h"
+#include "core/driver.h"
+#include "core/engine.h"
+
+namespace genbase::bench {
+
+/// Benchmark datasets are generated once per size at SimConfig scale.
+const core::GenBaseData& CachedData(core::DatasetSize size);
+
+/// Driver options from SimConfig (GENBASE_TIMEOUT).
+core::DriverOptions DefaultDriverOptions();
+
+/// Runs one (engine, query, size) cell. The engine instance is cached and
+/// loaded once per (key, size); a failed load (e.g. R on the large dataset)
+/// is reported as INF for every query — the paper's semantics for systems
+/// that cannot hold the data.
+core::CellResult RunSingleNodeCell(
+    const std::string& engine_key,
+    const std::function<std::unique_ptr<core::Engine>()>& factory,
+    core::QueryId query, core::DatasetSize size);
+
+/// As above for a multi-node configuration (cached per options + size).
+core::CellResult RunClusterCell(const cluster::ClusterEngineOptions& options,
+                                core::QueryId query, core::DatasetSize size);
+
+/// Global collector so bench binaries can print paper-shaped grids after
+/// google-benchmark has run all registered cells.
+void RecordCell(const core::CellResult& cell);
+const std::vector<core::CellResult>& RecordedCells();
+
+/// Looks up a recorded cell's display string; "?" if absent.
+std::string CellDisplay(const std::string& engine, core::QueryId query,
+                        core::DatasetSize size, int nodes = 1);
+
+/// Finds a recorded cell (nullptr if absent).
+const core::CellResult* FindCell(const std::string& engine,
+                                 core::QueryId query, core::DatasetSize size,
+                                 int nodes = 1);
+
+/// Prints the workload banner (scale, dims, timeout, model constants).
+void PrintBanner(const char* figure);
+
+/// Formats seconds with the paper's INF convention.
+std::string FormatSeconds(double s);
+
+inline constexpr core::DatasetSize kBenchSizes[] = {
+    core::DatasetSize::kSmall, core::DatasetSize::kMedium,
+    core::DatasetSize::kLarge};
+
+}  // namespace genbase::bench
+
+#endif  // GENBASE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Drug-response study: the paper's motivating pharmacogenomics scenario.
+// A bioinformatician wants to know (a) which gene program predicts drug
+// response, and (b) which gene pairs co-vary in the diseased cohort — and
+// needs both the relational cohort selection AND the linear algebra in one
+// system. We run the same study on three architectures and compare both the
+// answers (identical) and the cost profiles (very different).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/generator.h"
+#include "core/verify.h"
+#include "engine/engines.h"
+
+int main() {
+  using namespace genbase;
+
+  auto data = core::GenerateDataset(core::DatasetSize::kSmall, 0.05);
+  GENBASE_CHECK(data.ok());
+
+  core::DriverOptions options;
+  options.timeout_seconds = 120.0;
+  options.params.disease_id = 7;           // The cancer cohort.
+  options.params.covariance_quantile = 0.9;  // Top 10% covariant pairs.
+
+  struct Configured {
+    const char* label;
+    std::unique_ptr<core::Engine> engine;
+  };
+  std::vector<Configured> systems;
+  systems.push_back({"SciDB (array DBMS)", engine::CreateSciDb()});
+  systems.push_back({"Postgres + R (glue)", engine::CreatePostgresR()});
+  systems.push_back({"Vanilla R", engine::CreateVanillaR()});
+
+  std::printf("Drug-response study: %lld patients, %lld genes\n\n",
+              static_cast<long long>(data->dims.patients),
+              static_cast<long long>(data->dims.genes));
+  std::printf("%-22s %12s %12s %10s %8s %12s\n", "system", "Q1 total(s)",
+              "Q2 total(s)", "glue(s)", "R^2", "top pairs");
+
+  core::QueryResult reference_q1, reference_q2;
+  bool have_reference = false;
+  for (auto& sys : systems) {
+    GENBASE_CHECK_OK(sys.engine->LoadDataset(*data));
+    const core::CellResult q1 =
+        core::RunCell(sys.engine.get(), core::QueryId::kRegression,
+                      core::DatasetSize::kSmall, options);
+    const core::CellResult q2 =
+        core::RunCell(sys.engine.get(), core::QueryId::kCovariance,
+                      core::DatasetSize::kSmall, options);
+    GENBASE_CHECK_OK(q1.status);
+    GENBASE_CHECK_OK(q2.status);
+    std::printf("%-22s %12.3f %12.3f %10.3f %8.4f %12lld\n", sys.label,
+                q1.total_s, q2.total_s, q1.glue_s + q2.glue_s,
+                q1.result.regression.r_squared,
+                static_cast<long long>(q2.result.covariance.pairs_above));
+    if (!have_reference) {
+      reference_q1 = q1.result;
+      reference_q2 = q2.result;
+      have_reference = true;
+    } else {
+      // All three systems must agree on the science.
+      GENBASE_CHECK_OK(core::CompareQueryResults(reference_q1, q1.result));
+      GENBASE_CHECK_OK(core::CompareQueryResults(reference_q2, q2.result));
+    }
+    sys.engine->UnloadDataset();
+  }
+
+  std::printf(
+      "\nAll systems computed identical models; only the cost profile "
+      "differs.\nThe R^2 shows the planted causal-gene signal is "
+      "recovered; the qualifying\npair count is the Q2 threshold join "
+      "(top-decile covariances x gene metadata).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "accel/coprocessor.h"
+
+#include "core/config.h"
+
+namespace genbase::accel {
+
+KernelClass KernelClassFor(core::QueryId query) {
+  switch (query) {
+    case core::QueryId::kCovariance:
+    case core::QueryId::kSvd:
+    case core::QueryId::kRegression:
+      return KernelClass::kGemmBound;
+    case core::QueryId::kStatistics:
+      return KernelClass::kBandwidthBound;
+    case core::QueryId::kBiclustering:
+      return KernelClass::kLatencyBound;
+  }
+  return KernelClass::kBandwidthBound;
+}
+
+Coprocessor::Coprocessor() {
+  const auto& c = core::SimConfig::Get();
+  gemm_speedup_ = c.phi_gemm_speedup;
+  bandwidth_speedup_ = c.phi_bandwidth_speedup;
+  transfer_bytes_per_s_ = c.phi_transfer_bytes_per_s;
+  launch_latency_s_ = c.phi_launch_latency_s;
+  memory_bytes_ = c.phi_memory_bytes;
+}
+
+Coprocessor::Coprocessor(double gemm_speedup, double bandwidth_speedup,
+                         double transfer_bytes_per_s,
+                         double launch_latency_s, int64_t memory_bytes)
+    : gemm_speedup_(gemm_speedup),
+      bandwidth_speedup_(bandwidth_speedup),
+      transfer_bytes_per_s_(transfer_bytes_per_s),
+      launch_latency_s_(launch_latency_s),
+      memory_bytes_(memory_bytes) {}
+
+double Coprocessor::ComputeSpeedup(KernelClass kernel_class) const {
+  switch (kernel_class) {
+    case KernelClass::kGemmBound:
+      return gemm_speedup_;
+    case KernelClass::kBandwidthBound:
+      return bandwidth_speedup_;
+    case KernelClass::kLatencyBound:
+      return 1.15;
+  }
+  return 1.0;
+}
+
+double Coprocessor::TransferSeconds(int64_t bytes) const {
+  return launch_latency_s_ +
+         static_cast<double>(bytes) / transfer_bytes_per_s_;
+}
+
+double Coprocessor::OffloadedSeconds(KernelClass kernel_class,
+                                     int64_t input_bytes,
+                                     double host_seconds) const {
+  if (!Fits(input_bytes)) return host_seconds;  // Stay on the host.
+  return TransferSeconds(input_bytes) +
+         host_seconds / ComputeSpeedup(kernel_class);
+}
+
+}  // namespace genbase::accel

@@ -1,0 +1,9 @@
+#include "accel/phi_engine.h"
+
+namespace genbase::accel {
+
+std::unique_ptr<core::Engine> CreatePhiSciDb() {
+  return std::make_unique<PhiSciDbEngine>();
+}
+
+}  // namespace genbase::accel

@@ -1,0 +1,40 @@
+#ifndef GENBASE_ACCEL_PHI_ENGINE_H_
+#define GENBASE_ACCEL_PHI_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "accel/coprocessor.h"
+#include "engine/scidb_engine.h"
+
+namespace genbase::accel {
+
+/// \brief Section 5's accelerated configuration: "data management on SciDB
+/// ... linear algebra operations performed with routines specific to the
+/// Intel Xeon Phi coprocessor". Data management is identical to the plain
+/// SciDB engine; the analytics phase is offloaded through the coprocessor
+/// model (PCIe transfer + device compute ratio), so "this system will show
+/// the acceleration of a state-of-the-art co-processor, but only if the
+/// arrays are large enough to overcome the setup time".
+class PhiSciDbEngine : public engine::SciDbEngine,
+                       private engine::SciDbEngine::AnalyticsOffload {
+ public:
+  PhiSciDbEngine() { set_offload(this); }
+
+  std::string name() const override { return "SciDB + Xeon Phi"; }
+
+ private:
+  double OffloadSeconds(core::QueryId query, int64_t input_bytes,
+                        double host_seconds) const override {
+    return device_.OffloadedSeconds(KernelClassFor(query), input_bytes,
+                                    host_seconds);
+  }
+
+  Coprocessor device_;
+};
+
+std::unique_ptr<core::Engine> CreatePhiSciDb();
+
+}  // namespace genbase::accel
+
+#endif  // GENBASE_ACCEL_PHI_ENGINE_H_

@@ -1,0 +1,287 @@
+#include "bicluster/cheng_church.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace genbase::bicluster {
+
+namespace {
+
+/// Row/column means and the overall mean of the selected submatrix.
+struct SubmatrixStats {
+  std::vector<double> row_mean;   // Indexed by position in `rows`.
+  std::vector<double> col_mean;   // Indexed by position in `cols`.
+  double mean = 0.0;
+};
+
+SubmatrixStats ComputeStats(const linalg::MatrixView& m,
+                            const std::vector<int64_t>& rows,
+                            const std::vector<int64_t>& cols) {
+  SubmatrixStats s;
+  s.row_mean.assign(rows.size(), 0.0);
+  s.col_mean.assign(cols.size(), 0.0);
+  for (size_t ri = 0; ri < rows.size(); ++ri) {
+    const double* row = m.data + rows[ri] * m.stride;
+    double acc = 0.0;
+    for (size_t ci = 0; ci < cols.size(); ++ci) {
+      const double v = row[cols[ci]];
+      acc += v;
+      s.col_mean[ci] += v;
+    }
+    s.row_mean[ri] = acc / static_cast<double>(cols.size());
+    s.mean += acc;
+  }
+  const double cells =
+      static_cast<double>(rows.size()) * static_cast<double>(cols.size());
+  for (auto& c : s.col_mean) c /= static_cast<double>(rows.size());
+  s.mean /= cells;
+  return s;
+}
+
+double Residue(const linalg::MatrixView& m, const SubmatrixStats& s,
+               const std::vector<int64_t>& rows,
+               const std::vector<int64_t>& cols, size_t ri, size_t ci) {
+  const double v = m(rows[ri], cols[ci]);
+  const double r = v - s.row_mean[ri] - s.col_mean[ci] + s.mean;
+  return r * r;
+}
+
+double Msr(const linalg::MatrixView& m, const SubmatrixStats& s,
+           const std::vector<int64_t>& rows,
+           const std::vector<int64_t>& cols) {
+  double acc = 0.0;
+  for (size_t ri = 0; ri < rows.size(); ++ri) {
+    for (size_t ci = 0; ci < cols.size(); ++ci) {
+      acc += Residue(m, s, rows, cols, ri, ci);
+    }
+  }
+  return acc / (static_cast<double>(rows.size()) *
+                static_cast<double>(cols.size()));
+}
+
+/// Per-row mean squared residue d(i); analogous for columns.
+std::vector<double> RowResidues(const linalg::MatrixView& m,
+                                const SubmatrixStats& s,
+                                const std::vector<int64_t>& rows,
+                                const std::vector<int64_t>& cols) {
+  std::vector<double> d(rows.size(), 0.0);
+  for (size_t ri = 0; ri < rows.size(); ++ri) {
+    double acc = 0.0;
+    for (size_t ci = 0; ci < cols.size(); ++ci) {
+      acc += Residue(m, s, rows, cols, ri, ci);
+    }
+    d[ri] = acc / static_cast<double>(cols.size());
+  }
+  return d;
+}
+
+std::vector<double> ColResidues(const linalg::MatrixView& m,
+                                const SubmatrixStats& s,
+                                const std::vector<int64_t>& rows,
+                                const std::vector<int64_t>& cols) {
+  std::vector<double> d(cols.size(), 0.0);
+  for (size_t ci = 0; ci < cols.size(); ++ci) {
+    double acc = 0.0;
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+      acc += Residue(m, s, rows, cols, ri, ci);
+    }
+    d[ci] = acc / static_cast<double>(rows.size());
+  }
+  return d;
+}
+
+template <typename T>
+void RemoveIndices(std::vector<T>* v, const std::vector<size_t>& positions) {
+  if (positions.empty()) return;
+  std::vector<T> out;
+  out.reserve(v->size() - positions.size());
+  size_t pi = 0;
+  for (size_t i = 0; i < v->size(); ++i) {
+    if (pi < positions.size() && positions[pi] == i) {
+      ++pi;
+      continue;
+    }
+    out.push_back((*v)[i]);
+  }
+  *v = std::move(out);
+}
+
+}  // namespace
+
+double MeanSquaredResidue(const linalg::MatrixView& m,
+                          const std::vector<int64_t>& rows,
+                          const std::vector<int64_t>& cols) {
+  if (rows.empty() || cols.empty()) return 0.0;
+  const SubmatrixStats s = ComputeStats(m, rows, cols);
+  return Msr(m, s, rows, cols);
+}
+
+genbase::Result<std::vector<Bicluster>> ChengChurch(
+    const linalg::MatrixView& data, const ChengChurchOptions& options,
+    ExecContext* ctx) {
+  if (data.rows < options.min_rows || data.cols < options.min_cols) {
+    return Status::InvalidArgument("matrix smaller than minimum bicluster");
+  }
+  // Working copy: masking replaces found cells with noise.
+  linalg::Matrix work(data.rows, data.cols);
+  for (int64_t i = 0; i < data.rows; ++i) {
+    std::copy(data.data + i * data.stride, data.data + i * data.stride +
+              data.cols, work.Row(i));
+  }
+  double lo = work(0, 0), hi = work(0, 0);
+  for (int64_t i = 0; i < work.size(); ++i) {
+    lo = std::min(lo, work.data()[i]);
+    hi = std::max(hi, work.data()[i]);
+  }
+  Rng mask_rng(options.mask_seed);
+  std::vector<Bicluster> found;
+
+  for (int b = 0; b < options.max_biclusters; ++b) {
+    std::vector<int64_t> rows(static_cast<size_t>(data.rows));
+    std::vector<int64_t> cols(static_cast<size_t>(data.cols));
+    std::iota(rows.begin(), rows.end(), 0);
+    std::iota(cols.begin(), cols.end(), 0);
+    linalg::MatrixView wv(work);
+
+    // Phase 1: multiple node deletion while the matrix is large.
+    for (;;) {
+      if (ctx != nullptr) {
+        Status st = ctx->CheckBudgets();
+        if (!st.ok()) return st;
+      }
+      if (options.pass_hook) GENBASE_RETURN_NOT_OK(options.pass_hook());
+      SubmatrixStats s = ComputeStats(wv, rows, cols);
+      const double h = Msr(wv, s, rows, cols);
+      if (h <= options.delta) break;
+      bool changed = false;
+      if (static_cast<int64_t>(rows.size()) > 100) {
+        const std::vector<double> d = RowResidues(wv, s, rows, cols);
+        std::vector<size_t> to_remove;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (d[i] > options.alpha * h &&
+              static_cast<int64_t>(rows.size() - to_remove.size()) >
+                  options.min_rows) {
+            to_remove.push_back(i);
+          }
+        }
+        if (!to_remove.empty()) {
+          RemoveIndices(&rows, to_remove);
+          changed = true;
+          s = ComputeStats(wv, rows, cols);
+        }
+      }
+      if (static_cast<int64_t>(cols.size()) > 100) {
+        const double h2 = Msr(wv, s, rows, cols);
+        const std::vector<double> d = ColResidues(wv, s, rows, cols);
+        std::vector<size_t> to_remove;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          if (d[i] > options.alpha * h2 &&
+              static_cast<int64_t>(cols.size() - to_remove.size()) >
+                  options.min_cols) {
+            to_remove.push_back(i);
+          }
+        }
+        if (!to_remove.empty()) {
+          RemoveIndices(&cols, to_remove);
+          changed = true;
+        }
+      }
+      if (!changed) break;  // Fall through to single deletion.
+    }
+
+    // Phase 2: single node deletion until H <= delta.
+    for (;;) {
+      if (ctx != nullptr) {
+        Status st = ctx->CheckBudgets();
+        if (!st.ok()) return st;
+      }
+      if (options.pass_hook) GENBASE_RETURN_NOT_OK(options.pass_hook());
+      const SubmatrixStats s = ComputeStats(wv, rows, cols);
+      const double h = Msr(wv, s, rows, cols);
+      if (h <= options.delta) break;
+      const std::vector<double> dr = RowResidues(wv, s, rows, cols);
+      const std::vector<double> dc = ColResidues(wv, s, rows, cols);
+      const auto max_row = std::max_element(dr.begin(), dr.end());
+      const auto max_col = std::max_element(dc.begin(), dc.end());
+      const bool can_drop_row =
+          static_cast<int64_t>(rows.size()) > options.min_rows;
+      const bool can_drop_col =
+          static_cast<int64_t>(cols.size()) > options.min_cols;
+      if (!can_drop_row && !can_drop_col) break;
+      const bool drop_row =
+          can_drop_row && (!can_drop_col || *max_row >= *max_col);
+      if (drop_row) {
+        rows.erase(rows.begin() + (max_row - dr.begin()));
+      } else {
+        cols.erase(cols.begin() + (max_col - dc.begin()));
+      }
+    }
+
+    // Phase 3: node addition — add back rows/columns that fit.
+    {
+      if (options.pass_hook) GENBASE_RETURN_NOT_OK(options.pass_hook());
+      const SubmatrixStats s = ComputeStats(wv, rows, cols);
+      const double h = Msr(wv, s, rows, cols);
+      std::vector<bool> in_rows(static_cast<size_t>(data.rows), false);
+      for (int64_t r : rows) in_rows[static_cast<size_t>(r)] = true;
+      std::vector<bool> in_cols(static_cast<size_t>(data.cols), false);
+      for (int64_t c : cols) in_cols[static_cast<size_t>(c)] = true;
+      for (int64_t c = 0; c < data.cols; ++c) {
+        if (in_cols[static_cast<size_t>(c)]) continue;
+        double acc = 0.0;
+        double cmean = 0.0;
+        for (int64_t r : rows) cmean += wv(r, c);
+        cmean /= static_cast<double>(rows.size());
+        for (size_t ri = 0; ri < rows.size(); ++ri) {
+          const double res =
+              wv(rows[ri], c) - s.row_mean[ri] - cmean + s.mean;
+          acc += res * res;
+        }
+        if (acc / static_cast<double>(rows.size()) <= h) {
+          cols.push_back(c);
+          in_cols[static_cast<size_t>(c)] = true;
+        }
+      }
+      // Recompute stats with the enlarged column set before row addition.
+      const SubmatrixStats s2 = ComputeStats(wv, rows, cols);
+      const double h2 = Msr(wv, s2, rows, cols);
+      for (int64_t r = 0; r < data.rows; ++r) {
+        if (in_rows[static_cast<size_t>(r)]) continue;
+        double rmean = 0.0;
+        for (int64_t c : cols) rmean += wv(r, c);
+        rmean /= static_cast<double>(cols.size());
+        double acc = 0.0;
+        for (size_t ci = 0; ci < cols.size(); ++ci) {
+          const double res =
+              wv(r, cols[ci]) - rmean - s2.col_mean[ci] + s2.mean;
+          acc += res * res;
+        }
+        if (acc / static_cast<double>(cols.size()) <= h2) {
+          rows.push_back(r);
+          in_rows[static_cast<size_t>(r)] = true;
+        }
+      }
+    }
+
+    std::sort(rows.begin(), rows.end());
+    std::sort(cols.begin(), cols.end());
+    Bicluster bc;
+    bc.rows = rows;
+    bc.cols = cols;
+    bc.mean_squared_residue = MeanSquaredResidue(wv, rows, cols);
+    // Mask the found bicluster with uniform noise so the next pass finds a
+    // different one (the Cheng & Church masking step).
+    for (int64_t r : bc.rows) {
+      for (int64_t c : bc.cols) {
+        work(r, c) = mask_rng.Uniform(lo, hi);
+      }
+    }
+    found.push_back(std::move(bc));
+  }
+  return found;
+}
+
+}  // namespace genbase::bicluster

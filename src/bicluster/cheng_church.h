@@ -1,0 +1,57 @@
+#ifndef GENBASE_BICLUSTER_CHENG_CHURCH_H_
+#define GENBASE_BICLUSTER_CHENG_CHURCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace genbase::bicluster {
+
+/// \brief A bicluster: a subset of rows and columns whose submatrix has low
+/// mean squared residue (rows and columns move together).
+struct Bicluster {
+  std::vector<int64_t> rows;
+  std::vector<int64_t> cols;
+  double mean_squared_residue = 0.0;
+};
+
+struct ChengChurchOptions {
+  double delta = 0.1;          ///< Max acceptable mean squared residue.
+  double alpha = 1.2;          ///< Multiple-deletion aggressiveness.
+  int max_biclusters = 4;      ///< Successive biclusters to extract.
+  int64_t min_rows = 2;
+  int64_t min_cols = 2;
+  uint64_t mask_seed = 7;      ///< Seed for masking found cells.
+
+  /// Invoked once per algorithm pass (each deletion round / addition phase).
+  /// Engines that run the algorithm through a per-call interface (the column
+  /// store's R UDFs) use this to charge their per-invocation overhead; a
+  /// non-OK status aborts the run.
+  std::function<genbase::Status()> pass_hook;
+};
+
+/// \brief Mean squared residue H(I, J) of a submatrix selection: the
+/// Cheng & Church (ISMB 2000) homogeneity score,
+///   H = mean_(i,j) (a_ij - a_iJ - a_Ij + a_IJ)^2.
+double MeanSquaredResidue(const linalg::MatrixView& m,
+                          const std::vector<int64_t>& rows,
+                          const std::vector<int64_t>& cols);
+
+/// \brief Cheng & Church biclustering: multiple node deletion, single node
+/// deletion, then node addition; successive biclusters are found after
+/// masking previous ones with random noise. This is GenBase Query 3's
+/// analytics step ("biclustering allows the simultaneous clustering of rows
+/// and columns of a matrix into sub-matrices with similar patterns").
+///
+/// The input matrix is copied internally (masking mutates it).
+genbase::Result<std::vector<Bicluster>> ChengChurch(
+    const linalg::MatrixView& data, const ChengChurchOptions& options,
+    ExecContext* ctx = nullptr);
+
+}  // namespace genbase::bicluster
+
+#endif  // GENBASE_BICLUSTER_CHENG_CHURCH_H_

@@ -1,0 +1,107 @@
+#ifndef GENBASE_CLUSTER_CLUSTER_ENGINE_H_
+#define GENBASE_CLUSTER_CLUSTER_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/dist_kernels.h"
+#include "cluster/sim_cluster.h"
+#include "core/engine.h"
+#include "engine/engine_util.h"
+#include "storage/array_store.h"
+
+namespace genbase::cluster {
+
+/// \brief Architectural knobs distinguishing the paper's five multi-node
+/// systems (Section 4.2 / Figure 3). All five share the virtual-time
+/// cluster substrate and the distributed kernels; they differ in local
+/// storage, glue, kernel quality and job model — the same axes that
+/// distinguish the single-node configurations.
+struct ClusterEngineOptions {
+  std::string name;
+  int nodes = 1;
+  /// SciDB: array-native local storage, no relational restructure.
+  bool array_native = false;
+  /// Column store + pbdR: per-node CSV export into the R runtime.
+  bool csv_glue = false;
+  /// Column store + UDFs: per-invocation interpreter overhead.
+  bool udf_glue = false;
+  /// Hadoop: per-job startup latency, shuffle charges, per-iteration SVD
+  /// jobs, and the Mahout-quality (naive) kernels.
+  bool mapreduce = false;
+  linalg::KernelQuality quality = linalg::KernelQuality::kTuned;
+
+  /// Per-node coprocessor offload (Table 1 / Section 5): analytics compute
+  /// is accelerated by the device ratio; communication and transfers are
+  /// not.
+  bool phi_offload = false;
+};
+
+/// Factory helpers for the paper's configurations.
+ClusterEngineOptions SciDbMnOptions(int nodes);
+ClusterEngineOptions PbdrOptions(int nodes);
+ClusterEngineOptions ColumnStorePbdrOptions(int nodes);
+ClusterEngineOptions ColumnStoreUdfMnOptions(int nodes);
+ClusterEngineOptions HadoopMnOptions(int nodes);
+
+/// \brief One multi-node system configuration over the virtual-time
+/// cluster: data row-partitioned by patient across nodes, metadata
+/// replicated, ScaLAPACK-style distributed analytics (TSQR, Gram
+/// all-reduce, distributed Lanczos), gather-to-root for the algorithms the
+/// paper's systems did not distribute (biclustering).
+class ClusterEngine : public core::Engine {
+ public:
+  explicit ClusterEngine(ClusterEngineOptions options);
+
+  std::string name() const override { return options_.name; }
+  int nodes() const { return options_.nodes; }
+
+  bool SupportsQuery(core::QueryId query) const override {
+    if (options_.mapreduce) {
+      return query == core::QueryId::kRegression ||
+             query == core::QueryId::kCovariance ||
+             query == core::QueryId::kSvd;
+    }
+    return true;
+  }
+
+  genbase::Status LoadDataset(const core::GenBaseData& data) override;
+  void UnloadDataset() override;
+  void PrepareContext(ExecContext* ctx) override;
+
+  genbase::Result<core::QueryResult> RunQuery(core::QueryId query,
+                                              const core::QueryParams& params,
+                                              ExecContext* ctx) override;
+
+ private:
+  struct NodeData {
+    engine::ColumnarTables tables;           ///< Relational local storage.
+    storage::ChunkedArray2D expression;      ///< Array-native local storage.
+    RowRange patients;
+  };
+
+  /// Per-node data management: local filter + join/restructure (or array
+  /// gather) producing this node's block of the analysis matrix.
+  genbase::Result<std::vector<linalg::Matrix>> LocalBlocks(
+      core::QueryId query, const core::QueryParams& params, SimCluster* sim,
+      std::vector<std::vector<double>>* y_blocks,
+      std::vector<int64_t>* col_ids, ExecContext* ctx);
+
+  /// Applies the per-node glue (CSV round trip / UDF transfer) in place.
+  genbase::Status ApplyGlue(std::vector<linalg::Matrix>* blocks,
+                            SimCluster* sim, ExecContext* ctx);
+
+  ClusterEngineOptions options_;
+  MemoryTracker tracker_;
+  std::vector<std::unique_ptr<NodeData>> node_data_;
+  core::DatasetDims dims_;
+  bool loaded_ = false;
+};
+
+/// The paper's Figure 3 lineup for a given node count.
+std::vector<std::unique_ptr<core::Engine>> CreateMultiNodeEngines(int nodes);
+
+}  // namespace genbase::cluster
+
+#endif  // GENBASE_CLUSTER_CLUSTER_ENGINE_H_

@@ -1,0 +1,36 @@
+#ifndef GENBASE_COMMON_CHECK_H_
+#define GENBASE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal-invariant checks. These abort: they guard programmer errors, not
+/// runtime conditions (which use Status).
+#define GENBASE_CHECK(cond)                                                 \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "GENBASE_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define GENBASE_CHECK_OK(expr)                                               \
+  do {                                                                       \
+    ::genbase::Status _st = (expr);                                          \
+    if (!_st.ok()) {                                                         \
+      std::fprintf(stderr, "GENBASE_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, _st.ToString().c_str());              \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define GENBASE_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define GENBASE_DCHECK(cond) GENBASE_CHECK(cond)
+#endif
+
+#endif  // GENBASE_COMMON_CHECK_H_

@@ -1,0 +1,95 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace genbase {
+
+std::string CsvCodec::WriteMatrix(const double* data, int64_t rows,
+                                  int64_t cols) {
+  std::string out;
+  out.reserve(static_cast<size_t>(rows * cols * 20));
+  char buf[40];
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      const int n = std::snprintf(buf, sizeof(buf), "%.17g",
+                                  data[i * cols + j]);
+      out.append(buf, n);
+      out.push_back(j + 1 == cols ? '\n' : ',');
+    }
+  }
+  return out;
+}
+
+std::string CsvCodec::WriteColumns(
+    const std::vector<const double*>& doubles_cols,
+    const std::vector<const int64_t*>& int_cols, int64_t rows) {
+  std::string out;
+  char buf[40];
+  const size_t width = doubles_cols.size() + int_cols.size();
+  out.reserve(static_cast<size_t>(rows) * width * 16);
+  for (int64_t i = 0; i < rows; ++i) {
+    size_t field = 0;
+    for (const int64_t* col : int_cols) {
+      const int n = std::snprintf(buf, sizeof(buf), "%lld",
+                                  static_cast<long long>(col[i]));
+      out.append(buf, n);
+      out.push_back(++field == width ? '\n' : ',');
+    }
+    for (const double* col : doubles_cols) {
+      const int n = std::snprintf(buf, sizeof(buf), "%.17g", col[i]);
+      out.append(buf, n);
+      out.push_back(++field == width ? '\n' : ',');
+    }
+  }
+  return out;
+}
+
+Status CsvCodec::ParseMatrix(const std::string& text, int64_t* rows,
+                             int64_t* cols, std::vector<double>* out) {
+  out->clear();
+  *rows = 0;
+  *cols = -1;
+  const char* p = text.c_str();
+  const char* end = p + text.size();
+  int64_t fields_this_row = 0;
+  while (p < end) {
+    char* next = nullptr;
+    const double v = std::strtod(p, &next);
+    if (next == p) {
+      return Status::IOError("CSV parse error near byte offset " +
+                             std::to_string(p - text.c_str()));
+    }
+    out->push_back(v);
+    ++fields_this_row;
+    p = next;
+    if (p < end && *p == ',') {
+      ++p;
+    } else if (p < end && *p == '\n') {
+      ++p;
+      if (*cols < 0) {
+        *cols = fields_this_row;
+      } else if (fields_this_row != *cols) {
+        return Status::IOError("CSV ragged row at line " +
+                               std::to_string(*rows + 1));
+      }
+      fields_this_row = 0;
+      ++*rows;
+    } else if (p >= end) {
+      break;
+    } else {
+      return Status::IOError("unexpected CSV character");
+    }
+  }
+  if (fields_this_row > 0) {
+    // Final line without trailing newline.
+    if (*cols < 0) *cols = fields_this_row;
+    if (fields_this_row != *cols) return Status::IOError("CSV ragged tail");
+    ++*rows;
+  }
+  if (*cols < 0) *cols = 0;
+  return Status::OK();
+}
+
+}  // namespace genbase

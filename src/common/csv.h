@@ -1,0 +1,36 @@
+#ifndef GENBASE_COMMON_CSV_H_
+#define GENBASE_COMMON_CSV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace genbase {
+
+/// \brief Text serialization used by the "DBMS + external R" configurations.
+///
+/// The paper's Postgres+R and ColumnStore+R systems pay a genuine
+/// export/reformat cost when shipping query results to R. We reproduce that
+/// cost for real: doubles are printed with full round-trip precision (%.17g)
+/// and re-parsed with strtod, just like a COPY TO ... CSV | read.csv pipe.
+class CsvCodec {
+ public:
+  /// Serializes a row-major numeric block to CSV text.
+  static std::string WriteMatrix(const double* data, int64_t rows,
+                                 int64_t cols);
+
+  /// Serializes typed columns (all the same length) to CSV text.
+  static std::string WriteColumns(
+      const std::vector<const double*>& doubles_cols,
+      const std::vector<const int64_t*>& int_cols, int64_t rows);
+
+  /// Parses CSV text into a row-major double buffer. All fields numeric.
+  static Status ParseMatrix(const std::string& text, int64_t* rows,
+                            int64_t* cols, std::vector<double>* out);
+};
+
+}  // namespace genbase
+
+#endif  // GENBASE_COMMON_CSV_H_

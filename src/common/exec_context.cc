@@ -1,0 +1,17 @@
+#include "common/exec_context.h"
+
+namespace genbase {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kDataManagement:
+      return "data_management";
+    case Phase::kAnalytics:
+      return "analytics";
+    case Phase::kGlue:
+      return "glue";
+  }
+  return "unknown";
+}
+
+}  // namespace genbase

@@ -1,0 +1,41 @@
+#ifndef GENBASE_COMMON_LOGGING_H_
+#define GENBASE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace genbase {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Global log threshold; messages below it are dropped.
+/// Controlled by the GENBASE_LOG environment variable (debug/info/warn/error);
+/// default is kWarning so that benchmarks produce clean tabular output.
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace genbase
+
+#define GENBASE_LOG(level)                                              \
+  if (::genbase::LogLevel::k##level < ::genbase::GlobalLogLevel()) {    \
+  } else                                                                \
+    ::genbase::internal::LogMessage(::genbase::LogLevel::k##level,      \
+                                    __FILE__, __LINE__)                 \
+        .stream()
+
+#endif  // GENBASE_COMMON_LOGGING_H_

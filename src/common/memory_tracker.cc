@@ -1,0 +1,38 @@
+#include "common/memory_tracker.h"
+
+#include <string>
+
+namespace genbase {
+
+Status MemoryTracker::Reserve(int64_t bytes) {
+  if (bytes < 0) return Status::InvalidArgument("negative reservation");
+  const int64_t now =
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (now > budget_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::OutOfMemory(
+        label_ + ": allocation of " + std::to_string(bytes) +
+        " bytes exceeds budget " + std::to_string(budget_) + " (in use " +
+        std::to_string(now - bytes) + ")");
+  }
+  int64_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Result<ScopedReservation> ScopedReservation::Acquire(MemoryTracker* tracker,
+                                                     int64_t bytes) {
+  if (tracker == nullptr) return ScopedReservation();
+  Status st = tracker->Reserve(bytes);
+  if (!st.ok()) return st;
+  return ScopedReservation(tracker, bytes);
+}
+
+}  // namespace genbase

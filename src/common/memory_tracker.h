@@ -1,0 +1,92 @@
+#ifndef GENBASE_COMMON_MEMORY_TRACKER_H_
+#define GENBASE_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace genbase {
+
+/// \brief Byte-accounting with a budget. Each engine run owns a tracker sized
+/// to the memory model of the system it emulates; exceeding the budget turns
+/// into Status::OutOfMemory, which the benchmark driver reports as INF —
+/// exactly the paper's "temporary space allocation failed" outcome.
+class MemoryTracker {
+ public:
+  static constexpr int64_t kUnlimited =
+      std::numeric_limits<int64_t>::max();
+
+  explicit MemoryTracker(int64_t budget_bytes = kUnlimited,
+                         std::string label = "")
+      : budget_(budget_bytes), label_(std::move(label)) {}
+
+  /// Attempts to reserve bytes against the budget.
+  Status Reserve(int64_t bytes);
+
+  /// Releases a previous reservation.
+  void Release(int64_t bytes);
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t budget() const { return budget_; }
+  const std::string& label() const { return label_; }
+
+  void Reset() {
+    used_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+  int64_t budget_;
+  std::string label_;
+};
+
+/// \brief RAII reservation; releases on destruction. Use via Acquire().
+class ScopedReservation {
+ public:
+  ScopedReservation() : tracker_(nullptr), bytes_(0) {}
+  ScopedReservation(ScopedReservation&& other) noexcept
+      : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedReservation& operator=(ScopedReservation&& other) noexcept {
+    ReleaseNow();
+    tracker_ = other.tracker_;
+    bytes_ = other.bytes_;
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+    return *this;
+  }
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+  ~ScopedReservation() { ReleaseNow(); }
+
+  /// Reserves `bytes` from `tracker` (nullptr tracker = no-op success).
+  static Result<ScopedReservation> Acquire(MemoryTracker* tracker,
+                                           int64_t bytes);
+
+  int64_t bytes() const { return bytes_; }
+
+  void ReleaseNow() {
+    if (tracker_ != nullptr && bytes_ > 0) tracker_->Release(bytes_);
+    tracker_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  ScopedReservation(MemoryTracker* tracker, int64_t bytes)
+      : tracker_(tracker), bytes_(bytes) {}
+
+  MemoryTracker* tracker_;
+  int64_t bytes_;
+};
+
+}  // namespace genbase
+
+#endif  // GENBASE_COMMON_MEMORY_TRACKER_H_

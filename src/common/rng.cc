@@ -1,0 +1,16 @@
+#include "common/rng.h"
+
+namespace genbase {
+
+uint64_t SeedFromTag(std::string_view tag, uint64_t salt0, uint64_t salt1) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis.
+  for (char c : tag) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;  // FNV prime.
+  }
+  h = SplitMix64(h ^ SplitMix64(salt0));
+  h = SplitMix64(h ^ SplitMix64(salt1 * 0x9e3779b97f4a7c15ULL));
+  return h;
+}
+
+}  // namespace genbase

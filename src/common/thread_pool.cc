@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace genbase {
+
+ThreadPool::ThreadPool(int num_threads) {
+  GENBASE_CHECK(num_threads >= 0);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++outstanding_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0 && tasks_.empty(); });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0 && tasks_.empty()) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  const int64_t n = end - begin;
+  const int shards = std::min<int64_t>(
+      n, static_cast<int64_t>(std::max(1, num_threads())));
+  if (shards <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunk = (n + shards - 1) / shards;
+  // The calling thread takes the first shard; workers take the rest.
+  for (int s = 1; s < shards; ++s) {
+    const int64_t lo = begin + s * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) continue;
+    Submit([fn, lo, hi] { fn(lo, hi); });
+  }
+  fn(begin, std::min(end, begin + chunk));
+  Wait();
+}
+
+ThreadPool* DefaultPool() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace genbase

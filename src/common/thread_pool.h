@@ -1,0 +1,58 @@
+#ifndef GENBASE_COMMON_THREAD_POOL_H_
+#define GENBASE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace genbase {
+
+/// \brief Fixed-size worker pool. Engines own a pool sized to the thread
+/// budget of the system they model (1 for the R engine, hardware concurrency
+/// for the SciDB-like engine), so "single-threaded analytics" is a real
+/// constraint, not a simulated one.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous shards
+  /// across the pool (plus the calling thread). Blocks until done. With
+  /// num_threads() <= 1 the loop runs inline on the caller.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  int64_t outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief Global shared pool sized to hardware concurrency (for callers that
+/// have no engine-specific budget, e.g. tests).
+ThreadPool* DefaultPool();
+
+}  // namespace genbase
+
+#endif  // GENBASE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,30 @@
+#include "core/config.h"
+
+#include <cstdlib>
+
+namespace genbase::core {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+}  // namespace
+
+const SimConfig& SimConfig::Get() {
+  static const SimConfig config = [] {
+    SimConfig c;
+    c.scale = EnvDouble("GENBASE_SCALE", c.scale);
+    c.timeout_seconds = EnvDouble("GENBASE_TIMEOUT", c.timeout_seconds);
+    return c;
+  }();
+  return config;
+}
+
+}  // namespace genbase::core

@@ -1,0 +1,84 @@
+#include "core/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genbase::core {
+
+const char* DatasetSizeName(DatasetSize s) {
+  switch (s) {
+    case DatasetSize::kSmall:
+      return "small";
+    case DatasetSize::kMedium:
+      return "medium";
+    case DatasetSize::kLarge:
+      return "large";
+    case DatasetSize::kXLarge:
+      return "xlarge";
+  }
+  return "?";
+}
+
+DatasetDims DimsFor(DatasetSize size, double scale) {
+  int64_t genes0 = 0, patients0 = 0;
+  switch (size) {
+    case DatasetSize::kSmall:
+      genes0 = 5000;
+      patients0 = 5000;
+      break;
+    case DatasetSize::kMedium:
+      genes0 = 15000;
+      patients0 = 20000;
+      break;
+    case DatasetSize::kLarge:
+      genes0 = 30000;
+      patients0 = 40000;
+      break;
+    case DatasetSize::kXLarge:
+      genes0 = 60000;
+      patients0 = 70000;
+      break;
+  }
+  DatasetDims d;
+  d.genes = std::max<int64_t>(
+      20, static_cast<int64_t>(std::llround(genes0 * scale)));
+  d.patients = std::max<int64_t>(
+      20, static_cast<int64_t>(std::llround(patients0 * scale)));
+  d.go_terms = std::max<int64_t>(5, d.genes / 10);
+  return d;
+}
+
+storage::Schema MicroarraySchema() {
+  using storage::DataType;
+  return storage::Schema({{"gene_id", DataType::kInt64},
+                          {"patient_id", DataType::kInt64},
+                          {"expr", DataType::kDouble}});
+}
+
+storage::Schema PatientMetaSchema() {
+  using storage::DataType;
+  return storage::Schema({{"patient_id", DataType::kInt64},
+                          {"age", DataType::kInt64},
+                          {"gender", DataType::kInt64},
+                          {"zipcode", DataType::kInt64},
+                          {"disease_id", DataType::kInt64},
+                          {"drug_response", DataType::kDouble}});
+}
+
+storage::Schema GeneMetaSchema() {
+  using storage::DataType;
+  return storage::Schema({{"gene_id", DataType::kInt64},
+                          {"target", DataType::kInt64},
+                          {"position", DataType::kInt64},
+                          {"length", DataType::kInt64},
+                          {"function", DataType::kInt64}});
+}
+
+storage::Schema GeneOntologySchema() {
+  using storage::DataType;
+  return storage::Schema({{"gene_id", DataType::kInt64},
+                          {"go_id", DataType::kInt64},
+                          {"belongs", DataType::kInt64}});
+}
+
+}  // namespace genbase::core

@@ -1,0 +1,86 @@
+#ifndef GENBASE_CORE_DATASETS_H_
+#define GENBASE_CORE_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/column_store.h"
+#include "storage/types.h"
+
+namespace genbase::core {
+
+/// \brief The four dataset sizes of the paper (Section 3.1.1). Dimensions
+/// are genes x patients; the benchmark applies a linear scale factor.
+enum class DatasetSize { kSmall, kMedium, kLarge, kXLarge };
+
+const char* DatasetSizeName(DatasetSize s);
+
+/// \brief Scaled dimensions of one benchmark instance.
+struct DatasetDims {
+  int64_t genes = 0;
+  int64_t patients = 0;
+  int64_t go_terms = 0;
+  int64_t diseases = 21;        ///< Paper: "our data set contains 21 diseases".
+  int64_t functions = 500;      ///< Function codes 0..499; queries cut at 250.
+  int64_t go_terms_per_gene = 4;
+
+  /// Dense microarray cell count.
+  int64_t cells() const { return genes * patients; }
+  /// Bytes of the dense expression matrix.
+  int64_t dense_bytes() const { return cells() * 8; }
+};
+
+/// Paper dims (small 5k x 5k ... xl 60k x 70k) scaled linearly by `scale`.
+/// GO terms scale as genes / 10.
+DatasetDims DimsFor(DatasetSize size, double scale);
+
+/// \brief Column schemas of the four benchmark tables (Section 3.1).
+storage::Schema MicroarraySchema();      // gene_id, patient_id, expr
+storage::Schema PatientMetaSchema();     // patient_id, age, gender, zipcode,
+                                         // disease_id, drug_response
+storage::Schema GeneMetaSchema();        // gene_id, target, position, length,
+                                         // function
+storage::Schema GeneOntologySchema();    // gene_id, go_id, belongs
+
+/// Column indexes, kept in one place so engines cannot drift.
+struct MicroarrayCols {
+  static constexpr int kGeneId = 0;
+  static constexpr int kPatientId = 1;
+  static constexpr int kExpr = 2;
+};
+struct PatientCols {
+  static constexpr int kPatientId = 0;
+  static constexpr int kAge = 1;
+  static constexpr int kGender = 2;
+  static constexpr int kZipcode = 3;
+  static constexpr int kDiseaseId = 4;
+  static constexpr int kDrugResponse = 5;
+};
+struct GeneCols {
+  static constexpr int kGeneId = 0;
+  static constexpr int kTarget = 1;
+  static constexpr int kPosition = 2;
+  static constexpr int kLength = 3;
+  static constexpr int kFunction = 4;
+};
+struct GoCols {
+  static constexpr int kGeneId = 0;
+  static constexpr int kGoId = 1;
+  static constexpr int kBelongs = 2;
+};
+
+/// \brief One generated benchmark instance in neutral (columnar) form.
+/// Engines ingest this into their native storage at load time; load cost is
+/// not part of query time (the paper pre-loads data too).
+struct GenBaseData {
+  DatasetDims dims;
+  DatasetSize size = DatasetSize::kSmall;
+  storage::ColumnTable microarray{MicroarraySchema()};
+  storage::ColumnTable patients{PatientMetaSchema()};
+  storage::ColumnTable genes{GeneMetaSchema()};
+  storage::ColumnTable ontology{GeneOntologySchema()};  ///< belongs=1 rows.
+};
+
+}  // namespace genbase::core
+
+#endif  // GENBASE_CORE_DATASETS_H_

@@ -1,0 +1,74 @@
+#include "core/driver.h"
+
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace genbase::core {
+
+std::string CellResult::Display() const {
+  if (!supported) return "n/a";
+  if (infinite) return "INF";
+  if (!status.ok()) return "ERR";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", total_s);
+  return buf;
+}
+
+CellResult RunCell(Engine* engine, QueryId query, DatasetSize size,
+                   const DriverOptions& options) {
+  CellResult cell;
+  cell.engine = engine->name();
+  cell.query = query;
+  cell.size = size;
+  if (!engine->SupportsQuery(query)) {
+    cell.supported = false;
+    cell.status = genbase::Status::NotSupported(
+        cell.engine + " does not implement " + QueryName(query));
+    return cell;
+  }
+  ExecContext ctx;
+  engine->PrepareContext(&ctx);
+  ctx.SetDeadlineAfter(options.timeout_seconds);
+
+  auto result = engine->RunQuery(query, options.params, &ctx);
+  cell.dm_s = ctx.clock().total(Phase::kDataManagement) +
+              ctx.clock().total(Phase::kGlue);
+  cell.analytics_s = ctx.clock().total(Phase::kAnalytics);
+  cell.glue_s = ctx.clock().total(Phase::kGlue);
+  cell.total_s = ctx.clock().grand_total();
+  if (result.ok()) {
+    cell.result = std::move(result).ValueOrDie();
+    cell.status = genbase::Status::OK();
+    // A cell whose modeled+measured total exceeds the budget is INF too:
+    // virtual time (network, transfer) counts against the paper's 2h wall.
+    if (cell.total_s > options.timeout_seconds) {
+      cell.infinite = true;
+      cell.status = genbase::Status::DeadlineExceeded(
+          "modeled total exceeds time budget");
+    }
+  } else {
+    cell.status = result.status();
+    cell.infinite = cell.status.IsResourceFailure();
+  }
+  return cell;
+}
+
+void PrintGrid(const std::string& title, const std::string& x_label,
+               const std::vector<std::string>& x_values,
+               const std::vector<std::string>& engines,
+               const std::vector<std::vector<std::string>>& cells) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-28s", (x_label + " \\ system").c_str());
+  for (const auto& e : engines) std::printf(" %16s", e.c_str());
+  std::printf("\n");
+  for (size_t x = 0; x < x_values.size(); ++x) {
+    std::printf("%-28s", x_values[x].c_str());
+    for (size_t e = 0; e < engines.size(); ++e) {
+      std::printf(" %16s", cells[x][e].c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace genbase::core

@@ -1,0 +1,53 @@
+#ifndef GENBASE_CORE_DRIVER_H_
+#define GENBASE_CORE_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace genbase::core {
+
+/// \brief One cell of a benchmark grid: (engine, query, size) -> times.
+struct CellResult {
+  std::string engine;
+  QueryId query = QueryId::kRegression;
+  DatasetSize size = DatasetSize::kSmall;
+  int nodes = 1;
+
+  bool supported = true;
+  bool infinite = false;      ///< Timeout or memory failure (paper's INF bars).
+  genbase::Status status;     ///< Failure detail when infinite/error.
+
+  double total_s = 0.0;
+  double dm_s = 0.0;          ///< Data management (includes glue).
+  double analytics_s = 0.0;
+  double glue_s = 0.0;        ///< Copy/reformat between systems, broken out.
+
+  QueryResult result;         ///< Valid when status.ok().
+
+  /// Figure-style cell text ("12.34" or "INF" or "n/a").
+  std::string Display() const;
+};
+
+struct DriverOptions {
+  double timeout_seconds = 20.0;
+  QueryParams params;
+};
+
+/// \brief Runs one query on an engine that already has a dataset loaded.
+/// Applies the timeout, installs the engine's budgets, collects phase times,
+/// and converts resource failures into the INF marker.
+CellResult RunCell(Engine* engine, QueryId query, DatasetSize size,
+                   const DriverOptions& options);
+
+/// \brief Pretty-printing of grids in the shape of the paper's figures:
+/// one row per engine, one column per x-axis point.
+void PrintGrid(const std::string& title, const std::string& x_label,
+               const std::vector<std::string>& x_values,
+               const std::vector<std::string>& engines,
+               const std::vector<std::vector<std::string>>& cells);
+
+}  // namespace genbase::core
+
+#endif  // GENBASE_CORE_DRIVER_H_

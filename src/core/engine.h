@@ -1,0 +1,52 @@
+#ifndef GENBASE_CORE_ENGINE_H_
+#define GENBASE_CORE_ENGINE_H_
+
+#include <string>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "core/datasets.h"
+#include "core/queries.h"
+
+namespace genbase::core {
+
+/// \brief A system configuration under benchmark: one of the paper's seven
+/// single-node setups, a multi-node setup, or a coprocessor-assisted setup.
+///
+/// Contract:
+///  * LoadDataset ingests the neutral columnar data into native storage.
+///    Load time is not query time (the paper pre-loads too), but load memory
+///    is charged against the engine's budget.
+///  * RunQuery executes one benchmark query, accounting phase times into
+///    ctx->clock() (kDataManagement / kAnalytics / kGlue).
+///  * Engines must produce answers equal to the reference implementation
+///    within numerical tolerance (enforced by tests): systems in the paper
+///    differ in *how long* they take, never in *what* they compute.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Whether this configuration implements the query at all. Mirrors the
+  /// paper: "some plots do not show results for systems in which the
+  /// required functionality is missing."
+  virtual bool SupportsQuery(QueryId query) const {
+    (void)query;
+    return true;
+  }
+
+  virtual genbase::Status LoadDataset(const GenBaseData& data) = 0;
+  virtual void UnloadDataset() = 0;
+
+  /// Installs the engine's memory budget / thread pool into the context.
+  virtual void PrepareContext(ExecContext* ctx) = 0;
+
+  virtual genbase::Result<QueryResult> RunQuery(QueryId query,
+                                                const QueryParams& params,
+                                                ExecContext* ctx) = 0;
+};
+
+}  // namespace genbase::core
+
+#endif  // GENBASE_CORE_ENGINE_H_

@@ -1,0 +1,202 @@
+#include "core/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace genbase::core {
+
+namespace {
+
+/// Deterministic per-purpose RNG streams.
+Rng StreamFor(const GeneratorOptions& opt, DatasetSize size,
+              const char* purpose) {
+  return Rng(SeedFromTag(purpose, opt.seed, static_cast<uint64_t>(size)));
+}
+
+}  // namespace
+
+genbase::Result<GenBaseData> GenerateDataset(DatasetSize size, double scale,
+                                             const GeneratorOptions& opt) {
+  GenBaseData data;
+  data.size = size;
+  data.dims = DimsFor(size, scale);
+  const DatasetDims& dims = data.dims;
+  const int64_t g_count = dims.genes;
+  const int64_t p_count = dims.patients;
+  const int f = opt.latent_factors;
+
+  // --- latent factor model for expression ---------------------------------
+  Rng factor_rng = StreamFor(opt, size, "factors");
+  std::vector<double> loading(static_cast<size_t>(p_count * f));
+  for (auto& x : loading) x = factor_rng.Gaussian(0.0, 1.0);
+  std::vector<double> weight(static_cast<size_t>(g_count * f));
+  for (auto& x : weight) x = factor_rng.Gaussian(0.0, 0.8);
+  // Decaying factor strengths give a clean singular-value ladder.
+  std::vector<double> strength(static_cast<size_t>(f));
+  for (int i = 0; i < f; ++i) {
+    strength[static_cast<size_t>(i)] = 2.0 * std::pow(0.8, i);
+  }
+
+  // Planted bicluster support sets (prefix blocks of ids; the generator
+  // shuffles ids into effect via hashing below, so prefixes are arbitrary).
+  const int64_t planted_rows = std::max<int64_t>(
+      2, static_cast<int64_t>(p_count * opt.planted_row_fraction));
+  const int64_t planted_cols = std::max<int64_t>(
+      2, static_cast<int64_t>(g_count * opt.planted_col_fraction));
+
+  // --- gene metadata --------------------------------------------------------
+  Rng gene_rng = StreamFor(opt, size, "genes");
+  {
+    auto& t = data.genes;
+    GENBASE_RETURN_NOT_OK(t.Reserve(g_count));
+    auto& gene_id = t.MutableIntColumn(GeneCols::kGeneId);
+    auto& target = t.MutableIntColumn(GeneCols::kTarget);
+    auto& position = t.MutableIntColumn(GeneCols::kPosition);
+    auto& length = t.MutableIntColumn(GeneCols::kLength);
+    auto& function = t.MutableIntColumn(GeneCols::kFunction);
+    for (int64_t g = 0; g < g_count; ++g) {
+      gene_id.push_back(g);
+      target.push_back(gene_rng.UniformInt(0, g_count - 1));
+      position.push_back(gene_rng.UniformInt(0, 3'000'000));
+      length.push_back(gene_rng.UniformInt(200, 20'000));
+      function.push_back(gene_rng.UniformInt(0, dims.functions - 1));
+    }
+    GENBASE_RETURN_NOT_OK(t.FinishBulkLoad());
+  }
+
+  // --- patient metadata ------------------------------------------------------
+  // Drug response depends on a causal subset of gene expressions (computed
+  // after the expression pass); placeholder filled below.
+  Rng patient_rng = StreamFor(opt, size, "patients");
+  {
+    auto& t = data.patients;
+    GENBASE_RETURN_NOT_OK(t.Reserve(p_count));
+    auto& pid = t.MutableIntColumn(PatientCols::kPatientId);
+    auto& age = t.MutableIntColumn(PatientCols::kAge);
+    auto& gender = t.MutableIntColumn(PatientCols::kGender);
+    auto& zip = t.MutableIntColumn(PatientCols::kZipcode);
+    auto& disease = t.MutableIntColumn(PatientCols::kDiseaseId);
+    auto& response = t.MutableDoubleColumn(PatientCols::kDrugResponse);
+    for (int64_t p = 0; p < p_count; ++p) {
+      pid.push_back(p);
+      age.push_back(patient_rng.UniformInt(0, 99));
+      gender.push_back(patient_rng.UniformInt(0, 1));
+      zip.push_back(patient_rng.UniformInt(10'000, 99'999));
+      disease.push_back(patient_rng.UniformInt(1, dims.diseases));
+      response.push_back(0.0);  // Filled from causal genes below.
+    }
+    GENBASE_RETURN_NOT_OK(t.FinishBulkLoad());
+  }
+
+  // --- microarray (relational triples, patient-major) ------------------------
+  Rng noise_rng = StreamFor(opt, size, "noise");
+  const int causal = std::min<int64_t>(opt.causal_genes, g_count);
+  std::vector<double> causal_coef(static_cast<size_t>(causal));
+  Rng causal_rng = StreamFor(opt, size, "causal");
+  for (auto& c : causal_coef) c = causal_rng.Uniform(-1.5, 1.5);
+  std::vector<double> response_acc(static_cast<size_t>(p_count), 0.0);
+
+  {
+    auto& t = data.microarray;
+    GENBASE_RETURN_NOT_OK(t.Reserve(dims.cells()));
+    auto& gene_id = t.MutableIntColumn(MicroarrayCols::kGeneId);
+    auto& patient_id = t.MutableIntColumn(MicroarrayCols::kPatientId);
+    auto& expr = t.MutableDoubleColumn(MicroarrayCols::kExpr);
+    gene_id.resize(static_cast<size_t>(dims.cells()));
+    patient_id.resize(static_cast<size_t>(dims.cells()));
+    expr.resize(static_cast<size_t>(dims.cells()));
+    int64_t idx = 0;
+    for (int64_t p = 0; p < p_count; ++p) {
+      const double* lrow = loading.data() + p * f;
+      const bool p_in_plant = p < planted_rows;
+      for (int64_t g = 0; g < g_count; ++g, ++idx) {
+        const double* wrow = weight.data() + g * f;
+        double v = 0.0;
+        for (int i = 0; i < f; ++i) {
+          v += strength[static_cast<size_t>(i)] * lrow[i] * wrow[i];
+        }
+        v += noise_rng.Gaussian(0.0, opt.noise_sigma);
+        if (p_in_plant && g < planted_cols) {
+          // Additive row+column pattern: exactly the structure a low mean
+          // squared residue bicluster rewards.
+          v += opt.planted_amplitude +
+               0.3 * static_cast<double>(p % 7) +
+               0.2 * static_cast<double>(g % 5);
+        }
+        gene_id[static_cast<size_t>(idx)] = g;
+        patient_id[static_cast<size_t>(idx)] = p;
+        expr[static_cast<size_t>(idx)] = v;
+        if (g < causal) {
+          response_acc[static_cast<size_t>(p)] +=
+              causal_coef[static_cast<size_t>(g)] * v;
+        }
+      }
+    }
+    GENBASE_RETURN_NOT_OK(t.FinishBulkLoad());
+  }
+
+  // Fill drug response now that causal expressions exist.
+  {
+    Rng resp_rng = StreamFor(opt, size, "response");
+    auto& response =
+        data.patients.MutableDoubleColumn(PatientCols::kDrugResponse);
+    for (int64_t p = 0; p < p_count; ++p) {
+      response[static_cast<size_t>(p)] =
+          1.7 + response_acc[static_cast<size_t>(p)] +
+          resp_rng.Gaussian(0.0, opt.response_noise_sigma);
+    }
+  }
+
+  // --- gene ontology ---------------------------------------------------------
+  // Each gene belongs to a few GO terms; membership is biased by the gene's
+  // dominant latent factor so GO terms correlate with expression (Query 5's
+  // enrichment has signal).
+  Rng go_rng = StreamFor(opt, size, "ontology");
+  {
+    auto& t = data.ontology;
+    GENBASE_RETURN_NOT_OK(
+        t.Reserve(g_count * dims.go_terms_per_gene));
+    auto& gene_id = t.MutableIntColumn(GoCols::kGeneId);
+    auto& go_id = t.MutableIntColumn(GoCols::kGoId);
+    auto& belongs = t.MutableIntColumn(GoCols::kBelongs);
+    for (int64_t g = 0; g < g_count; ++g) {
+      // Dominant factor of this gene.
+      const double* wrow = weight.data() + g * f;
+      int dom = 0;
+      double best = -1.0;
+      for (int i = 0; i < f; ++i) {
+        const double a = std::fabs(wrow[i] * strength[static_cast<size_t>(i)]);
+        if (a > best) {
+          best = a;
+          dom = i;
+        }
+      }
+      // First membership: a factor-aligned GO term; rest: uniform.
+      const int64_t aligned =
+          (dom * dims.go_terms / f + go_rng.UniformInt(0, 1)) %
+          dims.go_terms;
+      int64_t prev = -1;
+      for (int64_t k = 0; k < dims.go_terms_per_gene; ++k) {
+        int64_t term = k == 0 ? aligned
+                              : go_rng.UniformInt(0, dims.go_terms - 1);
+        if (term == prev) term = (term + 1) % dims.go_terms;
+        gene_id.push_back(g);
+        go_id.push_back(term);
+        belongs.push_back(1);
+        prev = term;
+      }
+    }
+    GENBASE_RETURN_NOT_OK(t.FinishBulkLoad());
+  }
+
+  return data;
+}
+
+genbase::Result<GenBaseData> GenerateDataset(DatasetSize size, double scale) {
+  return GenerateDataset(size, scale, GeneratorOptions());
+}
+
+}  // namespace genbase::core

@@ -1,0 +1,46 @@
+#ifndef GENBASE_CORE_GENERATOR_H_
+#define GENBASE_CORE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/datasets.h"
+
+namespace genbase::core {
+
+/// \brief Options for the synthetic data generator. The paper's data is
+/// synthetic too ("to protect privacy ... we use synthetically generated
+/// data ... modeled on existing microarray and patient data").
+struct GeneratorOptions {
+  uint64_t seed = 2013;  ///< Year of the tech report; any value works.
+
+  /// Latent-factor rank of the expression model. Expression is
+  ///   expr(p, g) = sum_f loading(p, f) * weight(g, f) + noise,
+  /// which gives the data a real low-rank signal for SVD/covariance and
+  /// correlated gene groups for biclustering to find.
+  int latent_factors = 10;
+  double noise_sigma = 0.6;
+
+  /// A planted bicluster (rows x cols fraction of the matrix) with a shared
+  /// additive pattern, so Query 3 has ground truth to recover.
+  double planted_row_fraction = 0.08;
+  double planted_col_fraction = 0.06;
+  double planted_amplitude = 2.5;
+
+  /// Number of causal genes whose expression drives drug response, so the
+  /// Query 1 regression has real structure (R^2 well above 0).
+  int causal_genes = 12;
+  double response_noise_sigma = 0.5;
+};
+
+/// \brief Deterministically generates one benchmark instance. Identical
+/// (size, scale, options) always produce bit-identical data, independent of
+/// platform (custom PRNG, no std::distribution).
+genbase::Result<GenBaseData> GenerateDataset(DatasetSize size, double scale,
+                                             const GeneratorOptions& options);
+
+genbase::Result<GenBaseData> GenerateDataset(DatasetSize size, double scale);
+
+}  // namespace genbase::core
+
+#endif  // GENBASE_CORE_GENERATOR_H_

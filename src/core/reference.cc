@@ -1,0 +1,282 @@
+#include "core/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relational/restructure.h"
+
+namespace genbase::core {
+
+namespace {
+
+using relational::DenseMapping;
+using relational::MakeDenseMapping;
+using relational::TriplesToMatrix;
+
+/// Dense expression matrix for (patient ids x gene ids) straight from the
+/// neutral triples.
+genbase::Result<linalg::Matrix> BuildExpression(
+    const GenBaseData& data, const std::vector<int64_t>& patient_ids,
+    const std::vector<int64_t>& gene_ids, ExecContext* ctx) {
+  const DenseMapping rows = MakeDenseMapping(patient_ids);
+  const DenseMapping cols = MakeDenseMapping(gene_ids);
+  const auto& ma = data.microarray;
+  return TriplesToMatrix(
+      ma.IntColumn(MicroarrayCols::kPatientId).data(),
+      ma.IntColumn(MicroarrayCols::kGeneId).data(),
+      ma.DoubleColumn(MicroarrayCols::kExpr).data(), ma.num_rows(), rows,
+      cols, ctx, ctx != nullptr ? ctx->memory() : nullptr);
+}
+
+GeneMetaLookup MakeMetaLookup(const GenBaseData& data) {
+  const auto& genes = data.genes;
+  // gene_id == row index by construction, but engines must not rely on
+  // that; the reference builds an honest hash index once.
+  auto index = std::make_shared<std::unordered_map<int64_t, int64_t>>();
+  const auto& ids = genes.IntColumn(GeneCols::kGeneId);
+  index->reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    index->emplace(ids[i], static_cast<int64_t>(i));
+  }
+  const auto* func = &genes.IntColumn(GeneCols::kFunction);
+  const auto* len = &genes.IntColumn(GeneCols::kLength);
+  return [index, func, len](int64_t gene_id, int64_t* function,
+                            int64_t* length) -> genbase::Status {
+    const auto it = index->find(gene_id);
+    if (it == index->end()) {
+      return genbase::Status::NotFound("gene id " +
+                                       std::to_string(gene_id));
+    }
+    *function = (*func)[static_cast<size_t>(it->second)];
+    *length = (*len)[static_cast<size_t>(it->second)];
+    return genbase::Status::OK();
+  };
+}
+
+genbase::Result<QueryResult> ReferenceRegression(const GenBaseData& data,
+                                                 const QueryParams& params,
+                                                 ExecContext* ctx) {
+  QueryResult out;
+  out.query = QueryId::kRegression;
+  ScopedPhase dm(ctx, Phase::kDataManagement);
+  const std::vector<int64_t> gene_ids =
+      SelectGenesByFunction(data, params.function_threshold);
+  std::vector<int64_t> patient_ids(
+      static_cast<size_t>(data.dims.patients));
+  for (int64_t p = 0; p < data.dims.patients; ++p) patient_ids[p] = p;
+  GENBASE_ASSIGN_OR_RETURN(linalg::Matrix x,
+                           BuildExpression(data, patient_ids, gene_ids, ctx));
+  // Design matrix: intercept column then expressions.
+  GENBASE_ASSIGN_OR_RETURN(
+      linalg::Matrix design,
+      linalg::Matrix::Create(x.rows(), x.cols() + 1,
+                             ctx != nullptr ? ctx->memory() : nullptr));
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    design(i, 0) = 1.0;
+    std::copy(x.Row(i), x.Row(i) + x.cols(), design.Row(i) + 1);
+  }
+  const auto& y_col =
+      data.patients.DoubleColumn(PatientCols::kDrugResponse);
+  std::vector<double> y(y_col.begin(), y_col.end());
+  {
+    ScopedPhase an(ctx, Phase::kAnalytics);
+    GENBASE_ASSIGN_OR_RETURN(out.regression,
+                             RegressionAnalytics(std::move(design), y, ctx));
+  }
+  return out;
+}
+
+genbase::Result<QueryResult> ReferenceCovariance(const GenBaseData& data,
+                                                 const QueryParams& params,
+                                                 ExecContext* ctx) {
+  QueryResult out;
+  out.query = QueryId::kCovariance;
+  ScopedPhase dm(ctx, Phase::kDataManagement);
+  const std::vector<int64_t> patient_ids =
+      SelectPatientsByDisease(data, params.disease_id);
+  std::vector<int64_t> gene_ids(static_cast<size_t>(data.dims.genes));
+  for (int64_t g = 0; g < data.dims.genes; ++g) gene_ids[g] = g;
+  GENBASE_ASSIGN_OR_RETURN(linalg::Matrix x,
+                           BuildExpression(data, patient_ids, gene_ids, ctx));
+  {
+    ScopedPhase an(ctx, Phase::kAnalytics);
+    GENBASE_ASSIGN_OR_RETURN(
+        out.covariance,
+        CovarianceAnalytics(linalg::MatrixView(x), gene_ids,
+                            MakeMetaLookup(data),
+                            params.covariance_quantile,
+                            linalg::KernelQuality::kTuned, ctx));
+  }
+  return out;
+}
+
+genbase::Result<QueryResult> ReferenceBicluster(const GenBaseData& data,
+                                                const QueryParams& params,
+                                                ExecContext* ctx) {
+  QueryResult out;
+  out.query = QueryId::kBiclustering;
+  ScopedPhase dm(ctx, Phase::kDataManagement);
+  const std::vector<int64_t> patient_ids =
+      SelectPatientsByAgeGender(data, params.gender, params.max_age);
+  std::vector<int64_t> gene_ids(static_cast<size_t>(data.dims.genes));
+  for (int64_t g = 0; g < data.dims.genes; ++g) gene_ids[g] = g;
+  GENBASE_ASSIGN_OR_RETURN(linalg::Matrix x,
+                           BuildExpression(data, patient_ids, gene_ids, ctx));
+  {
+    ScopedPhase an(ctx, Phase::kAnalytics);
+    GENBASE_ASSIGN_OR_RETURN(
+        out.bicluster,
+        BiclusterAnalytics(linalg::MatrixView(x),
+                           params.bicluster_delta_fraction,
+                           params.bicluster_count, ctx));
+  }
+  return out;
+}
+
+genbase::Result<QueryResult> ReferenceSvd(const GenBaseData& data,
+                                          const QueryParams& params,
+                                          ExecContext* ctx) {
+  QueryResult out;
+  out.query = QueryId::kSvd;
+  ScopedPhase dm(ctx, Phase::kDataManagement);
+  const std::vector<int64_t> gene_ids =
+      SelectGenesByFunction(data, params.function_threshold);
+  std::vector<int64_t> patient_ids(
+      static_cast<size_t>(data.dims.patients));
+  for (int64_t p = 0; p < data.dims.patients; ++p) patient_ids[p] = p;
+  GENBASE_ASSIGN_OR_RETURN(linalg::Matrix x,
+                           BuildExpression(data, patient_ids, gene_ids, ctx));
+  {
+    ScopedPhase an(ctx, Phase::kAnalytics);
+    GENBASE_ASSIGN_OR_RETURN(
+        out.svd, SvdAnalytics(linalg::MatrixView(x), params.svd_rank,
+                              linalg::KernelQuality::kTuned, ctx));
+  }
+  return out;
+}
+
+genbase::Result<QueryResult> ReferenceStatistics(const GenBaseData& data,
+                                                 const QueryParams& params,
+                                                 ExecContext* ctx) {
+  QueryResult out;
+  out.query = QueryId::kStatistics;
+  ScopedPhase dm(ctx, Phase::kDataManagement);
+  const std::vector<int64_t> sample =
+      SelectSamplePatients(data, params.sample_fraction);
+  std::unordered_set<int64_t> in_sample(sample.begin(), sample.end());
+  // Mean expression per gene over the sampled patients.
+  std::vector<double> score(static_cast<size_t>(data.dims.genes), 0.0);
+  const auto& ma = data.microarray;
+  const auto& pid = ma.IntColumn(MicroarrayCols::kPatientId);
+  const auto& gid = ma.IntColumn(MicroarrayCols::kGeneId);
+  const auto& expr = ma.DoubleColumn(MicroarrayCols::kExpr);
+  for (size_t i = 0; i < pid.size(); ++i) {
+    if (ctx != nullptr && (i & 262143) == 0) {
+      GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+    }
+    if (in_sample.count(pid[i]) == 0) continue;
+    score[static_cast<size_t>(gid[i])] += expr[i];
+  }
+  const double inv = 1.0 / static_cast<double>(sample.size());
+  for (auto& s : score) s *= inv;
+  // GO memberships: term -> gene indices.
+  std::vector<std::vector<int64_t>> memberships(
+      static_cast<size_t>(data.dims.go_terms));
+  const auto& go_gene = data.ontology.IntColumn(GoCols::kGeneId);
+  const auto& go_term = data.ontology.IntColumn(GoCols::kGoId);
+  const auto& go_belongs = data.ontology.IntColumn(GoCols::kBelongs);
+  for (size_t i = 0; i < go_gene.size(); ++i) {
+    if (go_belongs[i] == 0) continue;
+    memberships[static_cast<size_t>(go_term[i])].push_back(go_gene[i]);
+  }
+  // Deduplicate memberships (a gene may be listed once per term only).
+  for (auto& m : memberships) {
+    std::sort(m.begin(), m.end());
+    m.erase(std::unique(m.begin(), m.end()), m.end());
+  }
+  {
+    ScopedPhase an(ctx, Phase::kAnalytics);
+    GENBASE_ASSIGN_OR_RETURN(
+        out.stats,
+        StatsAnalytics(score, memberships, params.significance, ctx));
+    out.stats.samples = static_cast<int64_t>(sample.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int64_t> SelectGenesByFunction(const GenBaseData& data,
+                                           int64_t function_threshold) {
+  std::vector<int64_t> ids;
+  const auto& gene_id = data.genes.IntColumn(GeneCols::kGeneId);
+  const auto& function = data.genes.IntColumn(GeneCols::kFunction);
+  for (size_t i = 0; i < gene_id.size(); ++i) {
+    if (function[i] < function_threshold) ids.push_back(gene_id[i]);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int64_t> SelectPatientsByDisease(const GenBaseData& data,
+                                             int64_t disease_id) {
+  std::vector<int64_t> ids;
+  const auto& pid = data.patients.IntColumn(PatientCols::kPatientId);
+  const auto& disease = data.patients.IntColumn(PatientCols::kDiseaseId);
+  for (size_t i = 0; i < pid.size(); ++i) {
+    if (disease[i] == disease_id) ids.push_back(pid[i]);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int64_t> SelectPatientsByAgeGender(const GenBaseData& data,
+                                               int64_t gender,
+                                               int64_t max_age) {
+  std::vector<int64_t> ids;
+  const auto& pid = data.patients.IntColumn(PatientCols::kPatientId);
+  const auto& age = data.patients.IntColumn(PatientCols::kAge);
+  const auto& g = data.patients.IntColumn(PatientCols::kGender);
+  for (size_t i = 0; i < pid.size(); ++i) {
+    if (g[i] == gender && age[i] < max_age) ids.push_back(pid[i]);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int64_t SampleCount(int64_t num_patients, double fraction) {
+  return std::max<int64_t>(
+      2, static_cast<int64_t>(std::ceil(num_patients * fraction)));
+}
+
+std::vector<int64_t> SelectSamplePatients(const GenBaseData& data,
+                                          double fraction) {
+  const int64_t k = SampleCount(data.dims.patients, fraction);
+  std::vector<int64_t> ids;
+  ids.reserve(static_cast<size_t>(k));
+  for (int64_t p = 0; p < k; ++p) ids.push_back(p);
+  return ids;
+}
+
+genbase::Result<QueryResult> RunReferenceQuery(QueryId query,
+                                               const GenBaseData& data,
+                                               const QueryParams& params,
+                                               ExecContext* ctx) {
+  switch (query) {
+    case QueryId::kRegression:
+      return ReferenceRegression(data, params, ctx);
+    case QueryId::kCovariance:
+      return ReferenceCovariance(data, params, ctx);
+    case QueryId::kBiclustering:
+      return ReferenceBicluster(data, params, ctx);
+    case QueryId::kSvd:
+      return ReferenceSvd(data, params, ctx);
+    case QueryId::kStatistics:
+      return ReferenceStatistics(data, params, ctx);
+  }
+  return Status::InvalidArgument("unknown query");
+}
+
+}  // namespace genbase::core

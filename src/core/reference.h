@@ -1,0 +1,50 @@
+#ifndef GENBASE_CORE_REFERENCE_H_
+#define GENBASE_CORE_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "core/datasets.h"
+#include "core/queries.h"
+
+namespace genbase::core {
+
+/// \brief Engine-agnostic ground-truth execution of a benchmark query,
+/// straight over the neutral columnar data with tuned kernels. Every engine
+/// must agree with this within numerical tolerance; the integration tests
+/// enforce it.
+genbase::Result<QueryResult> RunReferenceQuery(QueryId query,
+                                               const GenBaseData& data,
+                                               const QueryParams& params,
+                                               ExecContext* ctx = nullptr);
+
+/// --- selection predicates shared by reference and engines -------------------
+/// (The *predicates* are part of the benchmark spec; each engine evaluates
+/// them through its own operators.)
+
+/// Q1/Q4: gene ids with function < threshold, ascending.
+std::vector<int64_t> SelectGenesByFunction(const GenBaseData& data,
+                                           int64_t function_threshold);
+
+/// Q2: patient ids with the given disease, ascending.
+std::vector<int64_t> SelectPatientsByDisease(const GenBaseData& data,
+                                             int64_t disease_id);
+
+/// Q3: patient ids with gender == g and age < max_age, ascending.
+std::vector<int64_t> SelectPatientsByAgeGender(const GenBaseData& data,
+                                               int64_t gender,
+                                               int64_t max_age);
+
+/// Q5: the deterministic sample "0.25% of patients": ids < ceil(frac * P),
+/// at least 2.
+std::vector<int64_t> SelectSamplePatients(const GenBaseData& data,
+                                          double fraction);
+
+/// Number of sampled patients for a given fraction (shared rule).
+int64_t SampleCount(int64_t num_patients, double fraction);
+
+}  // namespace genbase::core
+
+#endif  // GENBASE_CORE_REFERENCE_H_

@@ -1,0 +1,393 @@
+#include "engine/engine_util.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "common/csv.h"
+#include "core/config.h"
+#include "core/reference.h"
+#include "relational/col_ops.h"
+#include "relational/restructure.h"
+
+namespace genbase::engine {
+
+genbase::Result<core::QueryResult> RunStandardAnalytics(
+    core::QueryId query, QueryInputs inputs, const core::QueryParams& params,
+    linalg::KernelQuality quality, ExecContext* ctx,
+    std::function<genbase::Status()> bicluster_pass_hook) {
+  core::QueryResult out;
+  out.query = query;
+  ScopedPhase an(ctx, Phase::kAnalytics);
+  switch (query) {
+    case core::QueryId::kRegression: {
+      MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+      GENBASE_ASSIGN_OR_RETURN(
+          linalg::Matrix design,
+          linalg::Matrix::Create(inputs.x.rows(), inputs.x.cols() + 1,
+                                 tracker));
+      for (int64_t i = 0; i < inputs.x.rows(); ++i) {
+        design(i, 0) = 1.0;
+        std::copy(inputs.x.Row(i), inputs.x.Row(i) + inputs.x.cols(),
+                  design.Row(i) + 1);
+      }
+      GENBASE_ASSIGN_OR_RETURN(
+          out.regression,
+          core::RegressionAnalytics(std::move(design), inputs.y, ctx));
+      return out;
+    }
+    case core::QueryId::kCovariance: {
+      GENBASE_ASSIGN_OR_RETURN(
+          out.covariance,
+          core::CovarianceAnalytics(linalg::MatrixView(inputs.x),
+                                    inputs.col_ids, inputs.meta,
+                                    params.covariance_quantile, quality,
+                                    ctx));
+      return out;
+    }
+    case core::QueryId::kBiclustering: {
+      GENBASE_ASSIGN_OR_RETURN(
+          out.bicluster,
+          core::BiclusterAnalytics(linalg::MatrixView(inputs.x),
+                                   params.bicluster_delta_fraction,
+                                   params.bicluster_count, ctx,
+                                   std::move(bicluster_pass_hook)));
+      return out;
+    }
+    case core::QueryId::kSvd: {
+      GENBASE_ASSIGN_OR_RETURN(
+          out.svd, core::SvdAnalytics(linalg::MatrixView(inputs.x),
+                                      params.svd_rank, quality, ctx));
+      return out;
+    }
+    case core::QueryId::kStatistics: {
+      GENBASE_ASSIGN_OR_RETURN(
+          out.stats,
+          core::StatsAnalytics(inputs.scores, inputs.memberships,
+                               params.significance, ctx));
+      out.stats.samples = inputs.sample_count;
+      return out;
+    }
+  }
+  return genbase::Status::InvalidArgument("unknown query");
+}
+
+genbase::Result<linalg::Matrix> CsvRoundTripMatrix(
+    const linalg::MatrixView& m, ExecContext* ctx) {
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+  // The CSV text transiently holds the whole result (~20 bytes/cell), which
+  // is exactly why the paper calls this glue "costly". Charge it.
+  GENBASE_ASSIGN_OR_RETURN(
+      auto reservation,
+      ScopedReservation::Acquire(tracker, m.rows * m.cols * 20));
+  std::string text;
+  if (m.stride == m.cols) {
+    text = CsvCodec::WriteMatrix(m.data, m.rows, m.cols);
+  } else {
+    text.reserve(static_cast<size_t>(m.rows * m.cols * 20));
+    for (int64_t i = 0; i < m.rows; ++i) {
+      text += CsvCodec::WriteMatrix(m.data + i * m.stride, 1, m.cols);
+    }
+  }
+  if (ctx != nullptr) GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+  int64_t rows = 0, cols = 0;
+  std::vector<double> parsed;
+  GENBASE_RETURN_NOT_OK(CsvCodec::ParseMatrix(text, &rows, &cols, &parsed));
+  if (rows != m.rows || cols != m.cols) {
+    return genbase::Status::Internal("CSV round trip changed shape");
+  }
+  GENBASE_ASSIGN_OR_RETURN(linalg::Matrix out,
+                           linalg::Matrix::Create(rows, cols, tracker));
+  std::copy(parsed.begin(), parsed.end(), out.data());
+  return out;
+}
+
+genbase::Result<std::vector<double>> CsvRoundTripVector(
+    const std::vector<double>& v, ExecContext* ctx) {
+  const std::string text = CsvCodec::WriteMatrix(
+      v.data(), static_cast<int64_t>(v.size()), 1);
+  if (ctx != nullptr) GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+  int64_t rows = 0, cols = 0;
+  std::vector<double> parsed;
+  GENBASE_RETURN_NOT_OK(CsvCodec::ParseMatrix(text, &rows, &cols, &parsed));
+  if (rows != static_cast<int64_t>(v.size()) || cols != 1) {
+    return genbase::Status::Internal("CSV round trip changed shape");
+  }
+  return parsed;
+}
+
+genbase::Result<linalg::Matrix> UdfTransferMatrix(
+    const linalg::MatrixView& m, ExecContext* ctx, int64_t chunk_rows) {
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+  GENBASE_ASSIGN_OR_RETURN(linalg::Matrix out,
+                           linalg::Matrix::Create(m.rows, m.cols, tracker));
+  const auto& config = core::SimConfig::Get();
+  for (int64_t r0 = 0; r0 < m.rows; r0 += chunk_rows) {
+    if (ctx != nullptr) {
+      GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+      // One UDF invocation per chunk: interpreter entry + marshalling.
+      ctx->clock().AddVirtual(Phase::kGlue,
+                              config.udf_invocation_overhead_s);
+    }
+    const int64_t r1 = std::min(m.rows, r0 + chunk_rows);
+    for (int64_t r = r0; r < r1; ++r) {
+      std::copy(m.data + r * m.stride, m.data + r * m.stride + m.cols,
+                out.Row(r));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> BuildMembershipsColumnar(
+    const storage::ColumnTable& ontology, int64_t num_terms) {
+  std::vector<std::vector<int64_t>> memberships(
+      static_cast<size_t>(num_terms));
+  const auto& gene = ontology.IntColumn(core::GoCols::kGeneId);
+  const auto& term = ontology.IntColumn(core::GoCols::kGoId);
+  const auto& belongs = ontology.IntColumn(core::GoCols::kBelongs);
+  for (size_t i = 0; i < gene.size(); ++i) {
+    if (belongs[i] == 0) continue;
+    memberships[static_cast<size_t>(term[i])].push_back(gene[i]);
+  }
+  for (auto& m : memberships) {
+    std::sort(m.begin(), m.end());
+    m.erase(std::unique(m.begin(), m.end()), m.end());
+  }
+  return memberships;
+}
+
+core::GeneMetaLookup MakeColumnarMetaLookup(
+    const storage::ColumnTable& genes) {
+  auto index = std::make_shared<std::unordered_map<int64_t, int64_t>>();
+  const auto& ids = genes.IntColumn(core::GeneCols::kGeneId);
+  index->reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    index->emplace(ids[i], static_cast<int64_t>(i));
+  }
+  const auto* func = &genes.IntColumn(core::GeneCols::kFunction);
+  const auto* len = &genes.IntColumn(core::GeneCols::kLength);
+  return [index, func, len](int64_t gene_id, int64_t* function,
+                            int64_t* length) -> genbase::Status {
+    const auto it = index->find(gene_id);
+    if (it == index->end()) {
+      return genbase::Status::NotFound("gene id " + std::to_string(gene_id));
+    }
+    *function = (*func)[static_cast<size_t>(it->second)];
+    *length = (*len)[static_cast<size_t>(it->second)];
+    return genbase::Status::OK();
+  };
+}
+
+namespace {
+
+genbase::Status CopyColumnTable(const storage::ColumnTable& src,
+                                MemoryTracker* tracker,
+                                storage::ColumnTable* dst) {
+  *dst = storage::ColumnTable(src.schema(), tracker);
+  GENBASE_RETURN_NOT_OK(dst->Reserve(src.num_rows()));
+  for (int c = 0; c < src.schema().num_fields(); ++c) {
+    if (src.schema().field(c).type == storage::DataType::kInt64) {
+      dst->MutableIntColumn(c) = src.IntColumn(c);
+    } else {
+      dst->MutableDoubleColumn(c) = src.DoubleColumn(c);
+    }
+  }
+  return dst->FinishBulkLoad();
+}
+
+}  // namespace
+
+genbase::Status LoadColumnarTables(const core::GenBaseData& data,
+                                   MemoryTracker* tracker,
+                                   ColumnarTables* out) {
+  out->dims = data.dims;
+  GENBASE_RETURN_NOT_OK(
+      CopyColumnTable(data.microarray, tracker, &out->microarray));
+  GENBASE_RETURN_NOT_OK(
+      CopyColumnTable(data.patients, tracker, &out->patients));
+  GENBASE_RETURN_NOT_OK(CopyColumnTable(data.genes, tracker, &out->genes));
+  GENBASE_RETURN_NOT_OK(
+      CopyColumnTable(data.ontology, tracker, &out->ontology));
+  return genbase::Status::OK();
+}
+
+namespace {
+
+using core::GeneCols;
+using core::GoCols;
+using core::MicroarrayCols;
+using core::PatientCols;
+using relational::ColumnPredicate;
+using relational::DenseMapping;
+using relational::FilterColumns;
+using relational::HashJoinIndicesFiltered;
+using relational::JoinIndex;
+using relational::MakeDenseMapping;
+
+/// Restructures matched microarray triples (by join index) into a dense
+/// matrix: the relational -> array conversion every non-array engine pays.
+genbase::Result<linalg::Matrix> RestructureJoined(
+    const storage::ColumnTable& microarray, const JoinIndex& join,
+    const DenseMapping& row_map, const DenseMapping& col_map,
+    ExecContext* ctx) {
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+  GENBASE_ASSIGN_OR_RETURN(
+      linalg::Matrix m,
+      linalg::Matrix::Create(row_map.size(), col_map.size(), tracker));
+  const auto& pid = microarray.IntColumn(MicroarrayCols::kPatientId);
+  const auto& gid = microarray.IntColumn(MicroarrayCols::kGeneId);
+  const auto& expr = microarray.DoubleColumn(MicroarrayCols::kExpr);
+  for (size_t k = 0; k < join.right.size(); ++k) {
+    if (ctx != nullptr && (k & 262143) == 0) {
+      GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+    }
+    const int64_t row = join.right[k];
+    const auto rit = row_map.index.find(pid[static_cast<size_t>(row)]);
+    if (rit == row_map.index.end()) continue;
+    const auto cit = col_map.index.find(gid[static_cast<size_t>(row)]);
+    if (cit == col_map.index.end()) continue;
+    m(rit->second, cit->second) = expr[static_cast<size_t>(row)];
+  }
+  return m;
+}
+
+std::vector<int64_t> GatherIds(const std::vector<int64_t>& ids,
+                               const std::vector<int64_t>& selection) {
+  std::vector<int64_t> out;
+  out.reserve(selection.size());
+  for (int64_t i : selection) out.push_back(ids[static_cast<size_t>(i)]);
+  return out;
+}
+
+}  // namespace
+
+genbase::Result<QueryInputs> PrepareInputsColumnar(
+    const ColumnarTables& tables, core::QueryId query,
+    const core::QueryParams& params, ExecContext* ctx) {
+  using storage::Value;
+  QueryInputs in;
+  ScopedPhase dm(ctx, Phase::kDataManagement);
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+
+  switch (query) {
+    case core::QueryId::kRegression:
+    case core::QueryId::kSvd: {
+      // Filter genes by function, join with microarray, restructure.
+      GENBASE_ASSIGN_OR_RETURN(
+          std::vector<int64_t> gene_sel,
+          FilterColumns(tables.genes,
+                        {ColumnPredicate::Lt(
+                            GeneCols::kFunction,
+                            Value::Int(params.function_threshold))},
+                        ctx));
+      in.col_ids = GatherIds(tables.genes.IntColumn(GeneCols::kGeneId),
+                             gene_sel);
+      GENBASE_ASSIGN_OR_RETURN(
+          JoinIndex join,
+          HashJoinIndicesFiltered(tables.genes, GeneCols::kGeneId, gene_sel,
+                                  tables.microarray, MicroarrayCols::kGeneId,
+                                  ctx, tracker));
+      in.row_ids = tables.patients.IntColumn(PatientCols::kPatientId);
+      std::sort(in.row_ids.begin(), in.row_ids.end());
+      const DenseMapping row_map = MakeDenseMapping(in.row_ids);
+      const DenseMapping col_map = MakeDenseMapping(in.col_ids);
+      in.col_ids = col_map.ids;
+      GENBASE_ASSIGN_OR_RETURN(
+          in.x, RestructureJoined(tables.microarray, join, row_map, col_map,
+                                  ctx));
+      if (query == core::QueryId::kRegression) {
+        // Project the drug response aligned to the row mapping.
+        in.y.assign(static_cast<size_t>(row_map.size()), 0.0);
+        const auto& pid = tables.patients.IntColumn(PatientCols::kPatientId);
+        const auto& resp =
+            tables.patients.DoubleColumn(PatientCols::kDrugResponse);
+        for (size_t i = 0; i < pid.size(); ++i) {
+          const auto it = row_map.index.find(pid[i]);
+          if (it != row_map.index.end()) {
+            in.y[static_cast<size_t>(it->second)] = resp[i];
+          }
+        }
+      }
+      return in;
+    }
+    case core::QueryId::kCovariance:
+    case core::QueryId::kBiclustering: {
+      std::vector<ColumnPredicate> preds;
+      if (query == core::QueryId::kCovariance) {
+        preds = {ColumnPredicate::Eq(PatientCols::kDiseaseId,
+                                     Value::Int(params.disease_id))};
+      } else {
+        preds = {
+            ColumnPredicate::Eq(PatientCols::kGender,
+                                Value::Int(params.gender)),
+            ColumnPredicate::Lt(PatientCols::kAge,
+                                Value::Int(params.max_age))};
+      }
+      GENBASE_ASSIGN_OR_RETURN(std::vector<int64_t> patient_sel,
+                               FilterColumns(tables.patients, preds, ctx));
+      in.row_ids = GatherIds(
+          tables.patients.IntColumn(PatientCols::kPatientId), patient_sel);
+      GENBASE_ASSIGN_OR_RETURN(
+          JoinIndex join,
+          HashJoinIndicesFiltered(tables.patients, PatientCols::kPatientId,
+                                  patient_sel, tables.microarray,
+                                  MicroarrayCols::kPatientId, ctx, tracker));
+      in.col_ids = tables.genes.IntColumn(GeneCols::kGeneId);
+      std::sort(in.col_ids.begin(), in.col_ids.end());
+      const DenseMapping row_map = MakeDenseMapping(in.row_ids);
+      const DenseMapping col_map = MakeDenseMapping(in.col_ids);
+      in.row_ids = row_map.ids;
+      GENBASE_ASSIGN_OR_RETURN(
+          in.x, RestructureJoined(tables.microarray, join, row_map, col_map,
+                                  ctx));
+      if (query == core::QueryId::kCovariance) {
+        in.meta = MakeColumnarMetaLookup(tables.genes);
+      }
+      return in;
+    }
+    case core::QueryId::kStatistics: {
+      const int64_t k =
+          core::SampleCount(tables.dims.patients, params.sample_fraction);
+      GENBASE_ASSIGN_OR_RETURN(
+          std::vector<int64_t> patient_sel,
+          FilterColumns(tables.patients,
+                        {ColumnPredicate::Lt(PatientCols::kPatientId,
+                                             Value::Int(k))},
+                        ctx));
+      in.sample_count = static_cast<int64_t>(patient_sel.size());
+      GENBASE_ASSIGN_OR_RETURN(
+          JoinIndex join,
+          HashJoinIndicesFiltered(tables.patients, PatientCols::kPatientId,
+                                  patient_sel, tables.microarray,
+                                  MicroarrayCols::kPatientId, ctx, tracker));
+      // Mean expression per gene over the sample (vectorized aggregate).
+      const DenseMapping gene_map = MakeDenseMapping(
+          tables.genes.IntColumn(GeneCols::kGeneId));
+      in.scores.assign(static_cast<size_t>(gene_map.size()), 0.0);
+      const auto& gid = tables.microarray.IntColumn(MicroarrayCols::kGeneId);
+      const auto& expr =
+          tables.microarray.DoubleColumn(MicroarrayCols::kExpr);
+      for (size_t idx = 0; idx < join.right.size(); ++idx) {
+        if (ctx != nullptr && (idx & 262143) == 0) {
+          GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+        }
+        const int64_t row = join.right[idx];
+        const auto it = gene_map.index.find(gid[static_cast<size_t>(row)]);
+        if (it != gene_map.index.end()) {
+          in.scores[static_cast<size_t>(it->second)] +=
+              expr[static_cast<size_t>(row)];
+        }
+      }
+      const double inv = in.sample_count > 0
+                             ? 1.0 / static_cast<double>(in.sample_count)
+                             : 0.0;
+      for (auto& s : in.scores) s *= inv;
+      in.memberships =
+          BuildMembershipsColumnar(tables.ontology, tables.dims.go_terms);
+      return in;
+    }
+  }
+  return genbase::Status::InvalidArgument("unknown query");
+}
+
+}  // namespace genbase::engine

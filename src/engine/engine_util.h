@@ -1,0 +1,90 @@
+#ifndef GENBASE_ENGINE_ENGINE_UTIL_H_
+#define GENBASE_ENGINE_ENGINE_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "core/datasets.h"
+#include "core/queries.h"
+#include "linalg/matrix.h"
+#include "storage/column_store.h"
+
+namespace genbase::engine {
+
+/// \brief The outputs of a query's data-management phase, in the neutral
+/// shape the shared analytics blocks consume. Every engine produces this
+/// through its own storage and operators; what differs across engines is how
+/// (and how fast) these inputs get built, never what they contain.
+struct QueryInputs {
+  linalg::Matrix x;                ///< Dense matrix (Q1..Q4; no intercept).
+  std::vector<int64_t> row_ids;    ///< Patient ids backing x's rows.
+  std::vector<int64_t> col_ids;    ///< Gene ids backing x's columns.
+  std::vector<double> y;           ///< Q1 target (drug response).
+  std::vector<double> scores;      ///< Q5 per-gene scores.
+  std::vector<std::vector<int64_t>> memberships;  ///< Q5 GO memberships.
+  core::GeneMetaLookup meta;       ///< Q2 metadata join access path.
+  int64_t sample_count = 0;        ///< Q5 sampled patients.
+};
+
+/// \brief Runs the analytics phase of `query` on prepared inputs with the
+/// given kernel quality, timing it into Phase::kAnalytics.
+genbase::Result<core::QueryResult> RunStandardAnalytics(
+    core::QueryId query, QueryInputs inputs, const core::QueryParams& params,
+    linalg::KernelQuality quality, ExecContext* ctx,
+    std::function<genbase::Status()> bicluster_pass_hook = nullptr);
+
+/// \brief The "export to external R" glue: serializes a matrix to CSV text
+/// and parses it back, exactly the copy/reformat round trip the paper's
+/// Postgres+R and ColumnStore+R configurations pay. Returns the re-imported
+/// matrix; the caller times the call inside Phase::kGlue.
+genbase::Result<linalg::Matrix> CsvRoundTripMatrix(
+    const linalg::MatrixView& m, ExecContext* ctx);
+
+/// CSV round trip for a vector (Q1's response column, Q5's scores).
+genbase::Result<std::vector<double>> CsvRoundTripVector(
+    const std::vector<double>& v, ExecContext* ctx);
+
+/// \brief The in-database UDF transfer: chunk-wise in-process copy plus a
+/// modeled per-invocation interpreter-entry overhead (SimConfig
+/// udf_invocation_overhead_s), charged as virtual glue time.
+genbase::Result<linalg::Matrix> UdfTransferMatrix(
+    const linalg::MatrixView& m, ExecContext* ctx, int64_t chunk_rows);
+
+/// \brief Builds GO memberships (term -> sorted unique gene ids) from a
+/// columnar ontology table by a vectorized pass.
+std::vector<std::vector<int64_t>> BuildMembershipsColumnar(
+    const storage::ColumnTable& ontology, int64_t num_terms);
+
+/// \brief Gene-metadata lookup backed by a hash index over a columnar gene
+/// table (built once per query; the Q2 join goes through it).
+core::GeneMetaLookup MakeColumnarMetaLookup(
+    const storage::ColumnTable& genes);
+
+/// \brief A loaded dataset in columnar native storage (used by the R,
+/// column-store and — for its 1-D metadata arrays — SciDB engines).
+struct ColumnarTables {
+  storage::ColumnTable microarray{core::MicroarraySchema()};
+  storage::ColumnTable patients{core::PatientMetaSchema()};
+  storage::ColumnTable genes{core::GeneMetaSchema()};
+  storage::ColumnTable ontology{core::GeneOntologySchema()};
+  core::DatasetDims dims;
+};
+
+/// Deep-copies the neutral data into `out`, charging `tracker`.
+genbase::Status LoadColumnarTables(const core::GenBaseData& data,
+                                   MemoryTracker* tracker,
+                                   ColumnarTables* out);
+
+/// \brief The full vectorized data-management pipeline for one query
+/// (filter -> hash join -> gather -> restructure), timed into
+/// Phase::kDataManagement. Used by the R and column-store engines; the row
+/// store and array engines implement their own pipelines.
+genbase::Result<QueryInputs> PrepareInputsColumnar(
+    const ColumnarTables& tables, core::QueryId query,
+    const core::QueryParams& params, ExecContext* ctx);
+
+}  // namespace genbase::engine
+
+#endif  // GENBASE_ENGINE_ENGINE_UTIL_H_

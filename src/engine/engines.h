@@ -1,0 +1,27 @@
+#ifndef GENBASE_ENGINE_ENGINES_H_
+#define GENBASE_ENGINE_ENGINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace genbase::engine {
+
+/// \brief The paper's seven single-node configurations (Section 4.1), in
+/// figure-legend order: Column store + R, Column store + UDFs, Hadoop,
+/// Postgres + Madlib, Postgres + R, SciDB, Vanilla R.
+std::vector<std::unique_ptr<core::Engine>> CreateSingleNodeEngines();
+
+/// Individual factories (used by examples and focused benches).
+std::unique_ptr<core::Engine> CreateVanillaR();
+std::unique_ptr<core::Engine> CreatePostgresMadlib();
+std::unique_ptr<core::Engine> CreatePostgresR();
+std::unique_ptr<core::Engine> CreateColumnStoreR();
+std::unique_ptr<core::Engine> CreateColumnStoreUdf();
+std::unique_ptr<core::Engine> CreateSciDb();
+std::unique_ptr<core::Engine> CreateHadoop();
+
+}  // namespace genbase::engine
+
+#endif  // GENBASE_ENGINE_ENGINES_H_

@@ -1,0 +1,300 @@
+#include "engine/hadoop_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/config.h"
+#include "relational/restructure.h"
+
+namespace genbase::engine {
+
+namespace {
+
+using core::GeneCols;
+using core::MicroarrayCols;
+using core::PatientCols;
+using relational::DenseMapping;
+using relational::MakeDenseMapping;
+
+constexpr int64_t kIoChunkRows = 64 * 1024;
+
+/// One binary microarray record on "HDFS".
+struct TripleRec {
+  int64_t patient_id;
+  int64_t gene_id;
+  double expr;
+};
+
+void ChargeJobStartup(ExecContext* ctx, Phase phase) {
+  if (ctx != nullptr) {
+    ctx->clock().AddVirtual(phase,
+                            core::SimConfig::Get().mr_job_startup_s);
+  }
+}
+
+}  // namespace
+
+HadoopEngine::HadoopEngine()
+    : tracker_(MemoryTracker::kUnlimited, "Hadoop") {}
+
+genbase::Status HadoopEngine::LoadDataset(const core::GenBaseData& data) {
+  UnloadDataset();
+  auto hdfs = std::make_unique<Hdfs>();
+  hdfs->dims = data.dims;
+
+  {
+    GENBASE_ASSIGN_OR_RETURN(hdfs->microarray, SpillFile::Create());
+    const auto& pid = data.microarray.IntColumn(MicroarrayCols::kPatientId);
+    const auto& gid = data.microarray.IntColumn(MicroarrayCols::kGeneId);
+    const auto& expr = data.microarray.DoubleColumn(MicroarrayCols::kExpr);
+    std::vector<TripleRec> buf;
+    buf.reserve(kIoChunkRows);
+    for (size_t i = 0; i < pid.size(); ++i) {
+      buf.push_back({pid[i], gid[i], expr[i]});
+      if (static_cast<int64_t>(buf.size()) == kIoChunkRows) {
+        GENBASE_RETURN_NOT_OK(hdfs->microarray.Write(
+            buf.data(), static_cast<int64_t>(buf.size() * sizeof(TripleRec))));
+        buf.clear();
+      }
+    }
+    if (!buf.empty()) {
+      GENBASE_RETURN_NOT_OK(hdfs->microarray.Write(
+          buf.data(), static_cast<int64_t>(buf.size() * sizeof(TripleRec))));
+    }
+    hdfs->microarray_rows = static_cast<int64_t>(pid.size());
+    GENBASE_RETURN_NOT_OK(hdfs->microarray.FinishWrite());
+  }
+  {
+    GENBASE_ASSIGN_OR_RETURN(hdfs->patients, SpillFile::Create());
+    const int nf = data.patients.schema().num_fields();
+    std::vector<double> row(static_cast<size_t>(nf));
+    for (int64_t r = 0; r < data.patients.num_rows(); ++r) {
+      for (int c = 0; c < nf; ++c) {
+        row[static_cast<size_t>(c)] = data.patients.Get(r, c).ToDouble();
+      }
+      GENBASE_RETURN_NOT_OK(
+          hdfs->patients.WriteDoubles(row.data(), nf));
+    }
+    hdfs->patient_rows = data.patients.num_rows();
+    GENBASE_RETURN_NOT_OK(hdfs->patients.FinishWrite());
+  }
+  {
+    GENBASE_ASSIGN_OR_RETURN(hdfs->genes, SpillFile::Create());
+    const int nf = data.genes.schema().num_fields();
+    std::vector<int64_t> row(static_cast<size_t>(nf));
+    for (int64_t r = 0; r < data.genes.num_rows(); ++r) {
+      for (int c = 0; c < nf; ++c) {
+        row[static_cast<size_t>(c)] = data.genes.Get(r, c).AsInt();
+      }
+      GENBASE_RETURN_NOT_OK(hdfs->genes.WriteInts(row.data(), nf));
+    }
+    hdfs->gene_rows = data.genes.num_rows();
+    GENBASE_RETURN_NOT_OK(hdfs->genes.FinishWrite());
+  }
+  hdfs_ = std::move(hdfs);
+  return genbase::Status::OK();
+}
+
+void HadoopEngine::UnloadDataset() {
+  hdfs_.reset();
+  tracker_.Reset();
+}
+
+void HadoopEngine::PrepareContext(ExecContext* ctx) {
+  ctx->set_memory(&tracker_);
+  ctx->set_pool(nullptr);  // Mahout kernels: no shared-memory parallelism.
+}
+
+genbase::Result<SpillFile> HadoopEngine::HiveFilterJoin(
+    core::QueryId query, const core::QueryParams& params,
+    std::vector<int64_t>* row_ids, std::vector<int64_t>* col_ids,
+    std::vector<double>* y, int64_t* matched_rows, ExecContext* ctx) {
+  Hdfs& h = *hdfs_;
+  ScopedPhase dm(ctx, Phase::kDataManagement);
+
+  // Job 1: scan the dimension table, apply the filter ("Hive has only
+  // rudimentary query optimization" — but a broadcast join of a small
+  // dimension table is standard).
+  ChargeJobStartup(ctx, Phase::kDataManagement);
+  std::unordered_set<int64_t> filter_ids;
+  const bool gene_side = query == core::QueryId::kRegression ||
+                         query == core::QueryId::kSvd;
+  if (gene_side) {
+    GENBASE_RETURN_NOT_OK(h.genes.Rewind());
+    std::vector<int64_t> row(5);
+    for (int64_t r = 0; r < h.gene_rows; ++r) {
+      GENBASE_RETURN_NOT_OK(h.genes.ReadInts(row.data(), 5));
+      if (row[GeneCols::kFunction] < params.function_threshold) {
+        filter_ids.insert(row[GeneCols::kGeneId]);
+        col_ids->push_back(row[GeneCols::kGeneId]);
+      }
+    }
+    std::sort(col_ids->begin(), col_ids->end());
+    GENBASE_RETURN_NOT_OK(h.patients.Rewind());
+    std::vector<double> prow(6);
+    for (int64_t r = 0; r < h.patient_rows; ++r) {
+      GENBASE_RETURN_NOT_OK(h.patients.ReadDoubles(prow.data(), 6));
+      row_ids->push_back(
+          static_cast<int64_t>(prow[PatientCols::kPatientId]));
+      if (y != nullptr) y->push_back(prow[PatientCols::kDrugResponse]);
+    }
+  } else {
+    GENBASE_RETURN_NOT_OK(h.patients.Rewind());
+    std::vector<double> prow(6);
+    for (int64_t r = 0; r < h.patient_rows; ++r) {
+      GENBASE_RETURN_NOT_OK(h.patients.ReadDoubles(prow.data(), 6));
+      if (static_cast<int64_t>(prow[PatientCols::kDiseaseId]) ==
+          params.disease_id) {
+        const int64_t pid =
+            static_cast<int64_t>(prow[PatientCols::kPatientId]);
+        filter_ids.insert(pid);
+        row_ids->push_back(pid);
+      }
+    }
+    std::sort(row_ids->begin(), row_ids->end());
+    GENBASE_RETURN_NOT_OK(h.genes.Rewind());
+    std::vector<int64_t> grow(5);
+    for (int64_t r = 0; r < h.gene_rows; ++r) {
+      GENBASE_RETURN_NOT_OK(h.genes.ReadInts(grow.data(), 5));
+      col_ids->push_back(grow[GeneCols::kGeneId]);
+    }
+    std::sort(col_ids->begin(), col_ids->end());
+  }
+
+  // Job 2: map over the fact file, join against the broadcast filter, and
+  // materialize matched triples back to disk (the reduce output).
+  ChargeJobStartup(ctx, Phase::kDataManagement);
+  GENBASE_ASSIGN_OR_RETURN(SpillFile matched, SpillFile::Create());
+  GENBASE_RETURN_NOT_OK(h.microarray.Rewind());
+  *matched_rows = 0;
+  std::vector<TripleRec> in_buf(kIoChunkRows);
+  std::vector<TripleRec> out_buf;
+  out_buf.reserve(kIoChunkRows);
+  int64_t remaining = h.microarray_rows;
+  while (remaining > 0) {
+    if (ctx != nullptr) GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+    const int64_t n = std::min<int64_t>(remaining, kIoChunkRows);
+    GENBASE_RETURN_NOT_OK(h.microarray.Read(
+        in_buf.data(), n * static_cast<int64_t>(sizeof(TripleRec))));
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t key =
+          gene_side ? in_buf[i].gene_id : in_buf[i].patient_id;
+      if (filter_ids.count(key) == 0) continue;
+      out_buf.push_back(in_buf[static_cast<size_t>(i)]);
+      ++*matched_rows;
+      if (static_cast<int64_t>(out_buf.size()) == kIoChunkRows) {
+        GENBASE_RETURN_NOT_OK(matched.Write(
+            out_buf.data(),
+            static_cast<int64_t>(out_buf.size() * sizeof(TripleRec))));
+        out_buf.clear();
+      }
+    }
+    remaining -= n;
+  }
+  if (!out_buf.empty()) {
+    GENBASE_RETURN_NOT_OK(matched.Write(
+        out_buf.data(),
+        static_cast<int64_t>(out_buf.size() * sizeof(TripleRec))));
+  }
+  GENBASE_RETURN_NOT_OK(matched.FinishWrite());
+  return matched;
+}
+
+genbase::Result<core::QueryResult> HadoopEngine::RunQuery(
+    core::QueryId query, const core::QueryParams& params, ExecContext* ctx) {
+  if (hdfs_ == nullptr) return genbase::Status::Internal("not loaded");
+  if (!SupportsQuery(query)) {
+    return genbase::Status::NotSupported(
+        "Mahout lacks this analytics function");
+  }
+  const auto& config = core::SimConfig::Get();
+  QueryInputs inputs;
+  int64_t matched_rows = 0;
+  GENBASE_ASSIGN_OR_RETURN(
+      SpillFile matched,
+      HiveFilterJoin(query, params, &inputs.row_ids, &inputs.col_ids,
+                     query == core::QueryId::kRegression ? &inputs.y
+                                                         : nullptr,
+                     &matched_rows, ctx));
+
+  // Job 3: restructure the matched triples into a dense matrix, then
+  // materialize it for the Hive -> Mahout handoff (SequenceFile style) and
+  // read it back.
+  {
+    ScopedPhase dm(ctx, Phase::kDataManagement);
+    ChargeJobStartup(ctx, Phase::kDataManagement);
+    const DenseMapping row_map = MakeDenseMapping(inputs.row_ids);
+    const DenseMapping col_map = MakeDenseMapping(inputs.col_ids);
+    GENBASE_ASSIGN_OR_RETURN(
+        linalg::Matrix m,
+        linalg::Matrix::Create(row_map.size(), col_map.size(),
+                               ctx != nullptr ? ctx->memory() : nullptr));
+    GENBASE_RETURN_NOT_OK(matched.Rewind());
+    std::vector<TripleRec> buf(kIoChunkRows);
+    int64_t remaining = matched_rows;
+    while (remaining > 0) {
+      const int64_t n = std::min<int64_t>(remaining, kIoChunkRows);
+      GENBASE_RETURN_NOT_OK(matched.Read(
+          buf.data(), n * static_cast<int64_t>(sizeof(TripleRec))));
+      for (int64_t i = 0; i < n; ++i) {
+        const auto rit = row_map.index.find(buf[i].patient_id);
+        const auto cit = col_map.index.find(buf[i].gene_id);
+        if (rit == row_map.index.end() || cit == col_map.index.end()) {
+          continue;
+        }
+        m(rit->second, cit->second) = buf[static_cast<size_t>(i)].expr;
+      }
+      remaining -= n;
+    }
+    // Handoff materialization: write the dense matrix, read it back.
+    GENBASE_ASSIGN_OR_RETURN(SpillFile handoff, SpillFile::Create());
+    GENBASE_RETURN_NOT_OK(handoff.WriteDoubles(m.data(), m.size()));
+    GENBASE_RETURN_NOT_OK(handoff.FinishWrite());
+    GENBASE_RETURN_NOT_OK(handoff.ReadDoubles(m.data(), m.size()));
+    inputs.x = std::move(m);
+  }
+
+  // Q2 needs the metadata access path for the qualifying-pair join: another
+  // pass over the genes file into a broadcast hash.
+  if (query == core::QueryId::kCovariance) {
+    ScopedPhase dm(ctx, Phase::kDataManagement);
+    ChargeJobStartup(ctx, Phase::kDataManagement);
+    auto index = std::make_shared<
+        std::unordered_map<int64_t, std::pair<int64_t, int64_t>>>();
+    GENBASE_RETURN_NOT_OK(hdfs_->genes.Rewind());
+    std::vector<int64_t> row(5);
+    for (int64_t r = 0; r < hdfs_->gene_rows; ++r) {
+      GENBASE_RETURN_NOT_OK(hdfs_->genes.ReadInts(row.data(), 5));
+      (*index)[row[GeneCols::kGeneId]] = {row[GeneCols::kFunction],
+                                          row[GeneCols::kLength]};
+    }
+    inputs.meta = [index](int64_t gene_id, int64_t* function,
+                          int64_t* length) -> genbase::Status {
+      const auto it = index->find(gene_id);
+      if (it == index->end()) {
+        return genbase::Status::NotFound("gene " + std::to_string(gene_id));
+      }
+      *function = it->second.first;
+      *length = it->second.second;
+      return genbase::Status::OK();
+    };
+  }
+
+  // Mahout job(s): naive kernels, one job startup — plus, for Lanczos, one
+  // job per iteration (Mahout's DistributedLanczosSolver).
+  ChargeJobStartup(ctx, Phase::kAnalytics);
+  GENBASE_ASSIGN_OR_RETURN(
+      core::QueryResult result,
+      RunStandardAnalytics(query, std::move(inputs), params,
+                           linalg::KernelQuality::kNaive, ctx));
+  if (query == core::QueryId::kSvd && ctx != nullptr) {
+    ctx->clock().AddVirtual(
+        Phase::kAnalytics,
+        static_cast<double>(result.svd.iterations) * config.mr_job_startup_s);
+  }
+  return result;
+}
+
+}  // namespace genbase::engine

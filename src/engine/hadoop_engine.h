@@ -1,0 +1,71 @@
+#ifndef GENBASE_ENGINE_HADOOP_ENGINE_H_
+#define GENBASE_ENGINE_HADOOP_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spill.h"
+#include "core/engine.h"
+#include "engine/engine_util.h"
+
+namespace genbase::engine {
+
+/// \brief Configuration 7: Hadoop (Hive for data management, Mahout for
+/// analytics).
+///
+/// Tables live as binary files on real disk ("HDFS"); every logical
+/// MapReduce job pays a modeled startup latency (JVM spinup, scheduling) and
+/// materializes its output back to disk — both stage boundaries and the
+/// Hive -> Mahout handoff are genuine file writes followed by re-reads.
+/// Analytics kernels are deliberately naive (no blocking, no
+/// parallelism, no reorthogonalization shortcuts): "matrix operations are
+/// not done through a high performance linear algebra package." Mahout's
+/// Lanczos ran one MapReduce job per iteration, which the SVD cost model
+/// charges. Only the Mahout-feasible subset runs: regression, covariance,
+/// SVD ("with this configuration we can only run the portion of the
+/// benchmark that is possible in Mahout").
+class HadoopEngine : public core::Engine {
+ public:
+  HadoopEngine();
+
+  std::string name() const override { return "Hadoop"; }
+
+  bool SupportsQuery(core::QueryId query) const override {
+    return query == core::QueryId::kRegression ||
+           query == core::QueryId::kCovariance ||
+           query == core::QueryId::kSvd;
+  }
+
+  genbase::Status LoadDataset(const core::GenBaseData& data) override;
+  void UnloadDataset() override;
+  void PrepareContext(ExecContext* ctx) override;
+
+  genbase::Result<core::QueryResult> RunQuery(core::QueryId query,
+                                              const core::QueryParams& params,
+                                              ExecContext* ctx) override;
+
+ private:
+  struct Hdfs {
+    SpillFile microarray;  ///< (patient_id, gene_id, expr) binary triples.
+    SpillFile patients;    ///< 6 fields per row.
+    SpillFile genes;       ///< 5 fields per row.
+    int64_t microarray_rows = 0;
+    int64_t patient_rows = 0;
+    int64_t gene_rows = 0;
+    core::DatasetDims dims;
+  };
+
+  /// Hive stage: filter + map-side join producing matched triples on disk.
+  genbase::Result<SpillFile> HiveFilterJoin(
+      core::QueryId query, const core::QueryParams& params,
+      std::vector<int64_t>* row_ids, std::vector<int64_t>* col_ids,
+      std::vector<double>* y, int64_t* matched_rows, ExecContext* ctx);
+
+  MemoryTracker tracker_;
+  std::unique_ptr<Hdfs> hdfs_;
+};
+
+}  // namespace genbase::engine
+
+#endif  // GENBASE_ENGINE_HADOOP_ENGINE_H_

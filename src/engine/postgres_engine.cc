@@ -1,0 +1,383 @@
+#include "engine/postgres_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/config.h"
+#include "core/reference.h"
+#include "relational/restructure.h"
+#include "relational/row_ops.h"
+
+namespace genbase::engine {
+
+namespace {
+
+using core::GeneCols;
+using core::GoCols;
+using core::MicroarrayCols;
+using core::PatientCols;
+using relational::DenseMapping;
+using relational::MakeDenseMapping;
+using relational::MaterializeRows;
+using relational::RowFilter;
+using relational::RowHashJoin;
+using relational::RowOperator;
+using relational::RowProject;
+using relational::RowScan;
+using storage::RowStore;
+using storage::Value;
+
+/// Copies neutral columnar data into a heap table via per-row appends.
+genbase::Status LoadRowTable(const storage::ColumnTable& src,
+                             RowStore* dst) {
+  std::vector<Value> row(static_cast<size_t>(src.schema().num_fields()));
+  for (int64_t r = 0; r < src.num_rows(); ++r) {
+    for (int c = 0; c < src.schema().num_fields(); ++c) {
+      row[static_cast<size_t>(c)] = src.Get(r, c);
+    }
+    GENBASE_RETURN_NOT_OK(dst->Append(row.data()));
+  }
+  return genbase::Status::OK();
+}
+
+/// Drains a Volcano tree of (patient_id, gene_id, expr) tuples into a dense
+/// matrix: the per-tuple restructure step.
+genbase::Result<linalg::Matrix> RestructureFromOperator(
+    RowOperator* op, const DenseMapping& row_map, const DenseMapping& col_map,
+    ExecContext* ctx) {
+  GENBASE_RETURN_NOT_OK(op->Open(ctx));
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+  GENBASE_ASSIGN_OR_RETURN(
+      linalg::Matrix m,
+      linalg::Matrix::Create(row_map.size(), col_map.size(), tracker));
+  std::vector<Value> row;
+  for (;;) {
+    GENBASE_ASSIGN_OR_RETURN(bool more, op->Next(&row));
+    if (!more) break;
+    const auto rit = row_map.index.find(row[0].AsInt());
+    if (rit == row_map.index.end()) continue;
+    const auto cit = col_map.index.find(row[1].AsInt());
+    if (cit == col_map.index.end()) continue;
+    m(rit->second, cit->second) = row[2].AsDouble();
+  }
+  return m;
+}
+
+}  // namespace
+
+PostgresEngine::PostgresEngine(PostgresAnalytics analytics)
+    : analytics_(analytics),
+      tracker_(MemoryTracker::kUnlimited, "Postgres") {}
+
+genbase::Status PostgresEngine::LoadDataset(const core::GenBaseData& data) {
+  UnloadDataset();
+  auto tables = std::make_unique<Tables>(&tracker_);
+  tables->dims = data.dims;
+  GENBASE_RETURN_NOT_OK(LoadRowTable(data.microarray, &tables->microarray));
+  GENBASE_RETURN_NOT_OK(LoadRowTable(data.patients, &tables->patients));
+  GENBASE_RETURN_NOT_OK(LoadRowTable(data.genes, &tables->genes));
+  GENBASE_RETURN_NOT_OK(LoadRowTable(data.ontology, &tables->ontology));
+  tables_ = std::move(tables);
+  return genbase::Status::OK();
+}
+
+void PostgresEngine::UnloadDataset() {
+  tables_.reset();
+  tracker_.Reset();
+}
+
+void PostgresEngine::PrepareContext(ExecContext* ctx) {
+  ctx->set_memory(&tracker_);
+  ctx->set_pool(nullptr);  // No intra-query parallelism in Postgres 9.x.
+}
+
+genbase::Result<QueryInputs> PostgresEngine::PrepareInputs(
+    core::QueryId query, const core::QueryParams& params, ExecContext* ctx) {
+  QueryInputs in;
+  ScopedPhase dm(ctx, Phase::kDataManagement);
+  Tables& t = *tables_;
+
+  switch (query) {
+    case core::QueryId::kRegression:
+    case core::QueryId::kSvd: {
+      // SELECT gene_id FROM genes WHERE function < thr (collect ids).
+      {
+        auto scan = std::make_unique<RowScan>(&t.genes);
+        RowFilter filter(
+            std::move(scan),
+            [thr = params.function_threshold](const std::vector<Value>& r) {
+              return r[GeneCols::kFunction].AsInt() < thr;
+            });
+        GENBASE_RETURN_NOT_OK(filter.Open(ctx));
+        std::vector<Value> row;
+        for (;;) {
+          GENBASE_ASSIGN_OR_RETURN(bool more, filter.Next(&row));
+          if (!more) break;
+          in.col_ids.push_back(row[GeneCols::kGeneId].AsInt());
+        }
+        std::sort(in.col_ids.begin(), in.col_ids.end());
+      }
+      // ... JOIN microarray USING (gene_id), project, restructure.
+      auto build = std::make_unique<RowProject>(
+          std::make_unique<RowFilter>(
+              std::make_unique<RowScan>(&t.genes),
+              [thr = params.function_threshold](
+                  const std::vector<Value>& r) {
+                return r[GeneCols::kFunction].AsInt() < thr;
+              }),
+          std::vector<int>{GeneCols::kGeneId});
+      auto join = std::make_unique<RowHashJoin>(
+          std::move(build), std::make_unique<RowScan>(&t.microarray), 0,
+          MicroarrayCols::kGeneId);
+      // Join output: [gene_id(build), gene_id, patient_id, expr].
+      RowProject projected(std::move(join),
+                           {1 + MicroarrayCols::kPatientId,
+                            1 + MicroarrayCols::kGeneId,
+                            1 + MicroarrayCols::kExpr});
+      // Row ids: all patients, plus the Q1 response projection.
+      std::unordered_map<int64_t, double> response;
+      {
+        RowScan scan(&t.patients);
+        GENBASE_RETURN_NOT_OK(scan.Open(ctx));
+        std::vector<Value> row;
+        for (;;) {
+          GENBASE_ASSIGN_OR_RETURN(bool more, scan.Next(&row));
+          if (!more) break;
+          in.row_ids.push_back(row[PatientCols::kPatientId].AsInt());
+          response[row[PatientCols::kPatientId].AsInt()] =
+              row[PatientCols::kDrugResponse].AsDouble();
+        }
+        std::sort(in.row_ids.begin(), in.row_ids.end());
+      }
+      const DenseMapping row_map = MakeDenseMapping(in.row_ids);
+      const DenseMapping col_map = MakeDenseMapping(in.col_ids);
+      GENBASE_ASSIGN_OR_RETURN(
+          in.x, RestructureFromOperator(&projected, row_map, col_map, ctx));
+      if (query == core::QueryId::kRegression) {
+        in.y.resize(static_cast<size_t>(row_map.size()));
+        for (int64_t i = 0; i < row_map.size(); ++i) {
+          in.y[static_cast<size_t>(i)] =
+              response[row_map.ids[static_cast<size_t>(i)]];
+        }
+      }
+      return in;
+    }
+    case core::QueryId::kCovariance:
+    case core::QueryId::kBiclustering: {
+      relational::RowPredicate pred;
+      if (query == core::QueryId::kCovariance) {
+        pred = [d = params.disease_id](const std::vector<Value>& r) {
+          return r[PatientCols::kDiseaseId].AsInt() == d;
+        };
+      } else {
+        pred = [g = params.gender,
+                a = params.max_age](const std::vector<Value>& r) {
+          return r[PatientCols::kGender].AsInt() == g &&
+                 r[PatientCols::kAge].AsInt() < a;
+        };
+      }
+      {
+        RowFilter filter(std::make_unique<RowScan>(&t.patients), pred);
+        GENBASE_RETURN_NOT_OK(filter.Open(ctx));
+        std::vector<Value> row;
+        for (;;) {
+          GENBASE_ASSIGN_OR_RETURN(bool more, filter.Next(&row));
+          if (!more) break;
+          in.row_ids.push_back(row[PatientCols::kPatientId].AsInt());
+        }
+        std::sort(in.row_ids.begin(), in.row_ids.end());
+      }
+      {
+        RowScan scan(&t.genes);
+        GENBASE_RETURN_NOT_OK(scan.Open(ctx));
+        std::vector<Value> row;
+        for (;;) {
+          GENBASE_ASSIGN_OR_RETURN(bool more, scan.Next(&row));
+          if (!more) break;
+          in.col_ids.push_back(row[GeneCols::kGeneId].AsInt());
+        }
+        std::sort(in.col_ids.begin(), in.col_ids.end());
+      }
+      auto build = std::make_unique<RowProject>(
+          std::make_unique<RowFilter>(std::make_unique<RowScan>(&t.patients),
+                                      pred),
+          std::vector<int>{PatientCols::kPatientId});
+      auto join = std::make_unique<RowHashJoin>(
+          std::move(build), std::make_unique<RowScan>(&t.microarray), 0,
+          MicroarrayCols::kPatientId);
+      RowProject projected(std::move(join),
+                           {1 + MicroarrayCols::kPatientId,
+                            1 + MicroarrayCols::kGeneId,
+                            1 + MicroarrayCols::kExpr});
+      const DenseMapping row_map = MakeDenseMapping(in.row_ids);
+      const DenseMapping col_map = MakeDenseMapping(in.col_ids);
+      GENBASE_ASSIGN_OR_RETURN(
+          in.x, RestructureFromOperator(&projected, row_map, col_map, ctx));
+      if (query == core::QueryId::kCovariance) {
+        // Build the metadata access path by an index scan into a hash.
+        auto index = std::make_shared<
+            std::unordered_map<int64_t, std::pair<int64_t, int64_t>>>();
+        RowScan scan(&t.genes);
+        GENBASE_RETURN_NOT_OK(scan.Open(ctx));
+        std::vector<Value> row;
+        for (;;) {
+          GENBASE_ASSIGN_OR_RETURN(bool more, scan.Next(&row));
+          if (!more) break;
+          (*index)[row[GeneCols::kGeneId].AsInt()] = {
+              row[GeneCols::kFunction].AsInt(),
+              row[GeneCols::kLength].AsInt()};
+        }
+        in.meta = [index](int64_t gene_id, int64_t* function,
+                          int64_t* length) -> genbase::Status {
+          const auto it = index->find(gene_id);
+          if (it == index->end()) {
+            return genbase::Status::NotFound("gene " +
+                                             std::to_string(gene_id));
+          }
+          *function = it->second.first;
+          *length = it->second.second;
+          return genbase::Status::OK();
+        };
+      }
+      return in;
+    }
+    case core::QueryId::kStatistics: {
+      const int64_t k =
+          core::SampleCount(t.dims.patients, params.sample_fraction);
+      auto build = std::make_unique<RowProject>(
+          std::make_unique<RowFilter>(
+              std::make_unique<RowScan>(&t.patients),
+              [k](const std::vector<Value>& r) {
+                return r[PatientCols::kPatientId].AsInt() < k;
+              }),
+          std::vector<int>{PatientCols::kPatientId});
+      auto join = std::make_unique<RowHashJoin>(
+          std::move(build), std::make_unique<RowScan>(&t.microarray), 0,
+          MicroarrayCols::kPatientId);
+      // Per-tuple aggregation: AVG(expr) GROUP BY gene_id.
+      GENBASE_RETURN_NOT_OK(join->Open(ctx));
+      std::unordered_map<int64_t, std::pair<double, int64_t>> agg;
+      std::vector<Value> row;
+      int64_t sample_rows = 0;
+      for (;;) {
+        GENBASE_ASSIGN_OR_RETURN(bool more, join->Next(&row));
+        if (!more) break;
+        auto& slot = agg[row[1 + MicroarrayCols::kGeneId].AsInt()];
+        slot.first += row[1 + MicroarrayCols::kExpr].AsDouble();
+        ++slot.second;
+        ++sample_rows;
+      }
+      in.sample_count = std::min<int64_t>(k, t.dims.patients);
+      // Scores aligned to the full gene id order.
+      {
+        RowScan scan(&t.genes);
+        GENBASE_RETURN_NOT_OK(scan.Open(ctx));
+        std::vector<Value> grow;
+        std::vector<int64_t> gene_ids;
+        for (;;) {
+          GENBASE_ASSIGN_OR_RETURN(bool more, scan.Next(&grow));
+          if (!more) break;
+          gene_ids.push_back(grow[GeneCols::kGeneId].AsInt());
+        }
+        std::sort(gene_ids.begin(), gene_ids.end());
+        in.scores.resize(gene_ids.size(), 0.0);
+        for (size_t i = 0; i < gene_ids.size(); ++i) {
+          const auto it = agg.find(gene_ids[i]);
+          if (it != agg.end() && it->second.second > 0) {
+            in.scores[i] = it->second.first /
+                           static_cast<double>(it->second.second);
+          }
+        }
+      }
+      // Memberships by tuple-at-a-time scan of the ontology table.
+      in.memberships.assign(static_cast<size_t>(t.dims.go_terms), {});
+      {
+        RowScan scan(&t.ontology);
+        GENBASE_RETURN_NOT_OK(scan.Open(ctx));
+        std::vector<Value> orow;
+        for (;;) {
+          GENBASE_ASSIGN_OR_RETURN(bool more, scan.Next(&orow));
+          if (!more) break;
+          if (orow[GoCols::kBelongs].AsInt() == 0) continue;
+          in.memberships[static_cast<size_t>(orow[GoCols::kGoId].AsInt())]
+              .push_back(orow[GoCols::kGeneId].AsInt());
+        }
+        for (auto& m : in.memberships) {
+          std::sort(m.begin(), m.end());
+          m.erase(std::unique(m.begin(), m.end()), m.end());
+        }
+      }
+      return in;
+    }
+  }
+  return genbase::Status::InvalidArgument("unknown query");
+}
+
+genbase::Result<core::QueryResult> PostgresEngine::RunQuery(
+    core::QueryId query, const core::QueryParams& params, ExecContext* ctx) {
+  if (tables_ == nullptr) return genbase::Status::Internal("not loaded");
+  if (!SupportsQuery(query)) {
+    return genbase::Status::NotSupported("Madlib lacks biclustering");
+  }
+  GENBASE_ASSIGN_OR_RETURN(QueryInputs inputs,
+                           PrepareInputs(query, params, ctx));
+
+  if (analytics_ == PostgresAnalytics::kExternalR) {
+    // Export everything R consumes through the CSV glue.
+    ScopedPhase glue(ctx, Phase::kGlue);
+    if (inputs.x.size() > 0) {
+      GENBASE_ASSIGN_OR_RETURN(
+          inputs.x, CsvRoundTripMatrix(linalg::MatrixView(inputs.x), ctx));
+    }
+    if (!inputs.y.empty()) {
+      GENBASE_ASSIGN_OR_RETURN(inputs.y, CsvRoundTripVector(inputs.y, ctx));
+    }
+    if (!inputs.scores.empty()) {
+      GENBASE_ASSIGN_OR_RETURN(inputs.scores,
+                               CsvRoundTripVector(inputs.scores, ctx));
+    }
+  }
+
+  const auto& config = core::SimConfig::Get();
+  switch (analytics_) {
+    case PostgresAnalytics::kExternalR:
+      // R: tuned LAPACK-backed kernels, single threaded.
+      return RunStandardAnalytics(query, std::move(inputs), params,
+                                  linalg::KernelQuality::kTuned, ctx);
+    case PostgresAnalytics::kMadlib: {
+      if (query == core::QueryId::kRegression ||
+          query == core::QueryId::kCovariance) {
+        // Native C++ Madlib modules.
+        return RunStandardAnalytics(query, std::move(inputs), params,
+                                    linalg::KernelQuality::kTuned, ctx);
+      }
+      // SVD / statistics "in effect simulate matrix computations in SQL and
+      // plpython": naive kernels plus a per-cell interpreter surcharge.
+      const int64_t m = inputs.x.rows();
+      const int64_t n = inputs.x.cols();
+      const int64_t stat_cells =
+          static_cast<int64_t>(inputs.scores.size()) *
+          static_cast<int64_t>(inputs.memberships.size());
+      GENBASE_ASSIGN_OR_RETURN(
+          core::QueryResult result,
+          RunStandardAnalytics(query, std::move(inputs), params,
+                               linalg::KernelQuality::kNaive, ctx));
+      if (query == core::QueryId::kSvd) {
+        const double cells = 2.0 * static_cast<double>(m) *
+                             static_cast<double>(n) *
+                             static_cast<double>(result.svd.iterations);
+        ctx->clock().AddVirtual(Phase::kAnalytics,
+                                cells * config.interpreted_cell_overhead_s);
+      } else if (query == core::QueryId::kStatistics) {
+        ctx->clock().AddVirtual(Phase::kAnalytics,
+                                static_cast<double>(stat_cells) *
+                                    config.interpreted_cell_overhead_s *
+                                    100.0);
+      }
+      return result;
+    }
+  }
+  return genbase::Status::InvalidArgument("unknown analytics mode");
+}
+
+}  // namespace genbase::engine

@@ -1,0 +1,46 @@
+#ifndef GENBASE_ENGINE_R_ENGINE_H_
+#define GENBASE_ENGINE_R_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "engine/engine_util.h"
+
+namespace genbase::engine {
+
+/// \brief Configuration 1: "Vanilla R" (paper Section 4.1).
+///
+/// Models R 3.0.x: everything main-memory resident in data-frame-like
+/// columnar structures, a hard 2^31 - 1 cells-per-array limit, strictly
+/// single-threaded execution ("runs single threaded on one core, regardless
+/// of the number of CPUs"), a hash-join `merge`, and BLAS/LAPACK-quality
+/// (tuned) analytics kernels. R's copy-on-modify value semantics are
+/// reproduced by materializing a fresh copy of the analysis matrix before
+/// the model step, which together with the memory budget makes the large
+/// dataset fail exactly the way the paper reports ("R by itself cannot load
+/// the data into memory").
+class VanillaREngine : public core::Engine {
+ public:
+  VanillaREngine();
+
+  std::string name() const override { return "Vanilla R"; }
+
+  genbase::Status LoadDataset(const core::GenBaseData& data) override;
+  void UnloadDataset() override;
+  void PrepareContext(ExecContext* ctx) override;
+
+  genbase::Result<core::QueryResult> RunQuery(core::QueryId query,
+                                              const core::QueryParams& params,
+                                              ExecContext* ctx) override;
+
+  const MemoryTracker& memory() const { return tracker_; }
+
+ private:
+  MemoryTracker tracker_;
+  std::unique_ptr<ColumnarTables> tables_;
+};
+
+}  // namespace genbase::engine
+
+#endif  // GENBASE_ENGINE_R_ENGINE_H_

@@ -1,0 +1,65 @@
+#ifndef GENBASE_ENGINE_SCIDB_ENGINE_H_
+#define GENBASE_ENGINE_SCIDB_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "engine/engine_util.h"
+#include "storage/array_store.h"
+
+namespace genbase::engine {
+
+/// \brief Configuration 6: SciDB, a native array DBMS.
+///
+/// The microarray lives as a chunked dense 2-D array (expression[patient,
+/// gene]); metadata are 1-D attribute arrays indexed by the shared
+/// dimensions. Selections on metadata produce dimension index lists and the
+/// expression submatrix is gathered chunk-wise — there is no relational
+/// join, no table-to-array restructure, and no export to an external stats
+/// package. Analytics use tuned multithreaded kernels ("custom code ... more
+/// involved than just calling pre-existing ScaLAPACK routines").
+class SciDbEngine : public core::Engine {
+ public:
+  /// \brief Hook for coprocessor offload (accel module). When installed,
+  /// the analytics phase is executed on the host to obtain the result and
+  /// its host cost, then reported at the modeled device cost (transfer +
+  /// accelerated compute) instead.
+  class AnalyticsOffload {
+   public:
+    virtual ~AnalyticsOffload() = default;
+    /// Returns the modeled device-seconds for an analytics phase that took
+    /// `host_seconds` on the host over `input_bytes` of data.
+    virtual double OffloadSeconds(core::QueryId query, int64_t input_bytes,
+                                  double host_seconds) const = 0;
+  };
+
+  SciDbEngine();
+
+  std::string name() const override { return "SciDB"; }
+
+  void set_offload(const AnalyticsOffload* offload) { offload_ = offload; }
+
+  genbase::Status LoadDataset(const core::GenBaseData& data) override;
+  void UnloadDataset() override;
+  void PrepareContext(ExecContext* ctx) override;
+
+  genbase::Result<core::QueryResult> RunQuery(core::QueryId query,
+                                              const core::QueryParams& params,
+                                              ExecContext* ctx) override;
+
+ private:
+  genbase::Result<QueryInputs> PrepareInputs(core::QueryId query,
+                                             const core::QueryParams& params,
+                                             ExecContext* ctx);
+
+  MemoryTracker tracker_;
+  storage::ChunkedArray2D expression_;  ///< [patient, gene].
+  std::unique_ptr<ColumnarTables> meta_;
+  const AnalyticsOffload* offload_ = nullptr;
+  bool loaded_ = false;
+};
+
+}  // namespace genbase::engine
+
+#endif  // GENBASE_ENGINE_SCIDB_ENGINE_H_

@@ -1,0 +1,288 @@
+#include "linalg/blas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace genbase::linalg {
+
+namespace {
+constexpr int64_t kTile = 64;
+}  // namespace
+
+double Dot(const double* x, const double* y, int64_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double Nrm2(const double* x, int64_t n) {
+  // Scaled to avoid overflow (netlib dnrm2 style).
+  double scale = 0.0, ssq = 1.0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (x[i] != 0.0) {
+      const double ax = std::fabs(x[i]);
+      if (scale < ax) {
+        ssq = 1.0 + ssq * (scale / ax) * (scale / ax);
+        scale = ax;
+      } else {
+        ssq += (ax / scale) * (ax / scale);
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void Axpy(double alpha, const double* x, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scal(double alpha, double* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void Gemv(const MatrixView& a, const double* x, double* y, ThreadPool* pool) {
+  auto body = [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      y[i] = Dot(a.data + i * a.stride, x, a.cols);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && a.rows >= 256) {
+    pool->ParallelFor(0, a.rows, body);
+  } else {
+    body(0, a.rows);
+  }
+}
+
+void GemvTranspose(const MatrixView& a, const double* x, double* y,
+                   ThreadPool* pool) {
+  std::fill(y, y + a.cols, 0.0);
+  if (pool != nullptr && pool->num_threads() > 1 && a.rows >= 512) {
+    const int shards = pool->num_threads();
+    std::vector<std::vector<double>> partials(
+        shards, std::vector<double>(a.cols, 0.0));
+    const int64_t chunk = (a.rows + shards - 1) / shards;
+    pool->ParallelFor(0, shards, [&](int64_t s_lo, int64_t s_hi) {
+      for (int64_t s = s_lo; s < s_hi; ++s) {
+        double* part = partials[s].data();
+        const int64_t lo = s * chunk;
+        const int64_t hi = std::min<int64_t>(a.rows, lo + chunk);
+        for (int64_t i = lo; i < hi; ++i) {
+          Axpy(x[i], a.data + i * a.stride, part, a.cols);
+        }
+      }
+    });
+    for (const auto& part : partials) Axpy(1.0, part.data(), y, a.cols);
+  } else {
+    for (int64_t i = 0; i < a.rows; ++i) {
+      Axpy(x[i], a.data + i * a.stride, y, a.cols);
+    }
+  }
+}
+
+namespace {
+
+/// Multiplies the (i0..i1, k0..k1) block of A by the (k0..k1, j0..j1) block
+/// of B into C. Inner loops are i-k-j so B rows stream contiguously.
+void GemmBlock(const MatrixView& a, const MatrixView& b, double* c,
+               int64_t c_stride, int64_t i0, int64_t i1, int64_t j0,
+               int64_t j1, int64_t k0, int64_t k1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const double* arow = a.data + i * a.stride;
+    double* crow = c + i * c_stride;
+    for (int64_t k = k0; k < k1; ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.data + k * b.stride;
+      for (int64_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+genbase::Status Gemm(const MatrixView& a, const MatrixView& b, Matrix* c,
+                     ThreadPool* pool, ExecContext* ctx) {
+  if (a.cols != b.rows || c->rows() != a.rows || c->cols() != b.cols) {
+    return Status::InvalidArgument("gemm shape mismatch");
+  }
+  c->Fill(0.0);
+  const int64_t row_blocks = (a.rows + kTile - 1) / kTile;
+  Status worker_status = Status::OK();
+  std::mutex status_mu;
+  auto body = [&](int64_t blo, int64_t bhi) {
+    for (int64_t bi = blo; bi < bhi; ++bi) {
+      if (ctx != nullptr) {
+        Status st = ctx->CheckBudgets();
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          worker_status = st;
+          return;
+        }
+      }
+      const int64_t i0 = bi * kTile;
+      const int64_t i1 = std::min(a.rows, i0 + kTile);
+      for (int64_t k0 = 0; k0 < a.cols; k0 += kTile) {
+        const int64_t k1 = std::min(a.cols, k0 + kTile);
+        for (int64_t j0 = 0; j0 < b.cols; j0 += kTile) {
+          const int64_t j1 = std::min(b.cols, j0 + kTile);
+          GemmBlock(a, b, c->data(), c->cols(), i0, i1, j0, j1, k0, k1);
+        }
+      }
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && row_blocks > 1) {
+    pool->ParallelFor(0, row_blocks, body);
+  } else {
+    body(0, row_blocks);
+  }
+  return worker_status;
+}
+
+genbase::Status GemmTransposeA(const MatrixView& a, const MatrixView& b,
+                               Matrix* c, ThreadPool* pool,
+                               ExecContext* ctx) {
+  // C[n x p] = A^T[n x m] * B[m x p]; computed as sum over rows of A/B of
+  // outer products, parallelized over column blocks of C to avoid races.
+  if (a.rows != b.rows || c->rows() != a.cols || c->cols() != b.cols) {
+    return Status::InvalidArgument("gemmTa shape mismatch");
+  }
+  c->Fill(0.0);
+  const int64_t col_blocks = (a.cols + kTile - 1) / kTile;
+  Status worker_status = Status::OK();
+  std::mutex status_mu;
+  auto body = [&](int64_t blo, int64_t bhi) {
+    for (int64_t bj = blo; bj < bhi; ++bj) {
+      if (ctx != nullptr) {
+        Status st = ctx->CheckBudgets();
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          worker_status = st;
+          return;
+        }
+      }
+      const int64_t r0 = bj * kTile;  // Rows of C == columns of A.
+      const int64_t r1 = std::min(a.cols, r0 + kTile);
+      for (int64_t k = 0; k < a.rows; ++k) {
+        const double* arow = a.data + k * a.stride;
+        const double* brow = b.data + k * b.stride;
+        for (int64_t r = r0; r < r1; ++r) {
+          const double w = arow[r];
+          if (w == 0.0) continue;
+          double* crow = c->Row(r);
+          for (int64_t j = 0; j < b.cols; ++j) crow[j] += w * brow[j];
+        }
+      }
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && col_blocks > 1) {
+    pool->ParallelFor(0, col_blocks, body);
+  } else {
+    body(0, col_blocks);
+  }
+  return worker_status;
+}
+
+genbase::Status Syrk(const MatrixView& a, Matrix* c, ThreadPool* pool,
+                     ExecContext* ctx) {
+  if (c->rows() != a.cols || c->cols() != a.cols) {
+    return Status::InvalidArgument("syrk shape mismatch");
+  }
+  c->Fill(0.0);
+  const int64_t n = a.cols;
+  const int64_t blocks = (n + kTile - 1) / kTile;
+  // Upper-triangle block list so work is balanced across the pool.
+  std::vector<std::pair<int64_t, int64_t>> tasks;
+  for (int64_t bi = 0; bi < blocks; ++bi) {
+    for (int64_t bj = bi; bj < blocks; ++bj) tasks.emplace_back(bi, bj);
+  }
+  Status worker_status = Status::OK();
+  std::mutex status_mu;
+  auto body = [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      if (ctx != nullptr) {
+        Status st = ctx->CheckBudgets();
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          worker_status = st;
+          return;
+        }
+      }
+      const int64_t i0 = tasks[t].first * kTile;
+      const int64_t i1 = std::min(n, i0 + kTile);
+      const int64_t j0 = tasks[t].second * kTile;
+      const int64_t j1 = std::min(n, j0 + kTile);
+      for (int64_t k = 0; k < a.rows; ++k) {
+        const double* arow = a.data + k * a.stride;
+        for (int64_t i = i0; i < i1; ++i) {
+          const double w = arow[i];
+          if (w == 0.0) continue;
+          double* crow = c->Row(i);
+          const int64_t jstart = std::max(j0, i);
+          for (int64_t j = jstart; j < j1; ++j) crow[j] += w * arow[j];
+        }
+      }
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && tasks.size() > 1) {
+    pool->ParallelFor(0, static_cast<int64_t>(tasks.size()), body);
+  } else {
+    body(0, static_cast<int64_t>(tasks.size()));
+  }
+  if (!worker_status.ok()) return worker_status;
+  // Mirror upper triangle to lower.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) (*c)(j, i) = (*c)(i, j);
+  }
+  return Status::OK();
+}
+
+genbase::Status GemmNaive(const MatrixView& a, const MatrixView& b, Matrix* c,
+                          ExecContext* ctx) {
+  if (a.cols != b.rows || c->rows() != a.rows || c->cols() != b.cols) {
+    return Status::InvalidArgument("gemm shape mismatch");
+  }
+  for (int64_t i = 0; i < a.rows; ++i) {
+    if (ctx != nullptr && (i & 15) == 0) {
+      GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+    }
+    for (int64_t j = 0; j < b.cols; ++j) {
+      double s = 0.0;
+      // Column-strided access to B: the cache-hostile textbook loop.
+      for (int64_t k = 0; k < a.cols; ++k) {
+        s += a(i, k) * b(k, j);
+      }
+      (*c)(i, j) = s;
+    }
+  }
+  return Status::OK();
+}
+
+genbase::Status SyrkNaive(const MatrixView& a, Matrix* c, ExecContext* ctx) {
+  if (c->rows() != a.cols || c->cols() != a.cols) {
+    return Status::InvalidArgument("syrk shape mismatch");
+  }
+  for (int64_t i = 0; i < a.cols; ++i) {
+    if (ctx != nullptr && (i & 15) == 0) {
+      GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+    }
+    for (int64_t j = 0; j < a.cols; ++j) {
+      double s = 0.0;
+      for (int64_t k = 0; k < a.rows; ++k) {
+        s += a(k, i) * a(k, j);
+      }
+      (*c)(i, j) = s;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace genbase::linalg

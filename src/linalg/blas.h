@@ -1,0 +1,59 @@
+#ifndef GENBASE_LINALG_BLAS_H_
+#define GENBASE_LINALG_BLAS_H_
+
+#include <cstdint>
+
+#include "common/exec_context.h"
+#include "common/thread_pool.h"
+#include "linalg/matrix.h"
+
+namespace genbase::linalg {
+
+/// BLAS-1 -------------------------------------------------------------------
+
+double Dot(const double* x, const double* y, int64_t n);
+double Nrm2(const double* x, int64_t n);
+void Axpy(double alpha, const double* x, double* y, int64_t n);
+void Scal(double alpha, double* x, int64_t n);
+
+/// BLAS-2 -------------------------------------------------------------------
+
+/// y = A * x (A: m x n, x: n, y: m). Parallel over rows if pool given.
+void Gemv(const MatrixView& a, const double* x, double* y,
+          ThreadPool* pool = nullptr);
+
+/// y = A^T * x (A: m x n, x: m, y: n). Parallel with partial sums.
+void GemvTranspose(const MatrixView& a, const double* x, double* y,
+                   ThreadPool* pool = nullptr);
+
+/// BLAS-3 -------------------------------------------------------------------
+
+/// C = A * B with cache-blocked tiles, parallel over row blocks. This is the
+/// "tuned linear algebra package" path (stands in for BLAS/MKL in the paper's
+/// SciDB/Madlib-C++ configurations).
+genbase::Status Gemm(const MatrixView& a, const MatrixView& b, Matrix* c,
+                     ThreadPool* pool = nullptr, ExecContext* ctx = nullptr);
+
+/// C = A^T * B, blocked and parallel.
+genbase::Status GemmTransposeA(const MatrixView& a, const MatrixView& b,
+                               Matrix* c, ThreadPool* pool = nullptr,
+                               ExecContext* ctx = nullptr);
+
+/// C = A^T * A exploiting symmetry (computes upper triangle, mirrors).
+genbase::Status Syrk(const MatrixView& a, Matrix* c,
+                     ThreadPool* pool = nullptr, ExecContext* ctx = nullptr);
+
+/// Deliberately unoptimized ijk triple loop with column-strided access to B,
+/// single threaded. This is the "Mahout: no sophisticated linear algebra
+/// package" path the paper blames for Hadoop's analytics numbers. Kept
+/// correct but slow on purpose; the ablation bench quantifies the gap.
+genbase::Status GemmNaive(const MatrixView& a, const MatrixView& b, Matrix* c,
+                          ExecContext* ctx = nullptr);
+
+/// Naive C = A^T * A (no symmetry exploitation, no blocking).
+genbase::Status SyrkNaive(const MatrixView& a, Matrix* c,
+                          ExecContext* ctx = nullptr);
+
+}  // namespace genbase::linalg
+
+#endif  // GENBASE_LINALG_BLAS_H_

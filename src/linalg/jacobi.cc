@@ -1,0 +1,76 @@
+#include "linalg/jacobi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genbase::linalg {
+
+genbase::Result<EigenDecomposition> JacobiEigen(const Matrix& a,
+                                                int max_sweeps) {
+  const int64_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("JacobiEigen requires a square matrix");
+  }
+  Matrix m = a;  // Working copy.
+  Matrix v(n, n);
+  for (int64_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    }
+    if (off < 1e-24) break;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q.
+        for (int64_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition out;
+  out.values.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.values[i] = m(i, i);
+  // Sort ascending with eigenvectors.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return out.values[x] < out.values[y];
+  });
+  EigenDecomposition sorted;
+  sorted.values.resize(static_cast<size_t>(n));
+  sorted.vectors = Matrix(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    sorted.values[j] = out.values[order[j]];
+    for (int64_t i = 0; i < n; ++i) sorted.vectors(i, j) = v(i, order[j]);
+  }
+  return sorted;
+}
+
+}  // namespace genbase::linalg

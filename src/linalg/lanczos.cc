@@ -1,0 +1,177 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/tridiag.h"
+
+namespace genbase::linalg {
+
+namespace {
+
+genbase::Result<LanczosResult> LanczosImpl(const LinearOperator& op,
+                                           const LanczosOptions& options,
+                                           bool reorthogonalize,
+                                           ExecContext* ctx) {
+  const int64_t n = op.n;
+  if (n <= 0) return Status::InvalidArgument("operator dimension must be > 0");
+  const int k = std::min<int>(options.num_eigenpairs, static_cast<int>(n));
+  const int max_iter =
+      options.max_iterations > 0
+          ? std::min<int>(options.max_iterations, static_cast<int>(n))
+          : std::min<int64_t>(n, 2 * k + 120);
+
+  // Lanczos basis, one row per iteration (row-major keeps reorth contiguous).
+  Matrix basis(max_iter, n);
+  std::vector<double> alpha, beta;
+  alpha.reserve(max_iter);
+  beta.reserve(max_iter);
+
+  Rng rng(options.seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.Gaussian();
+  {
+    const double nv = Nrm2(v.data(), n);
+    Scal(1.0 / nv, v.data(), n);
+  }
+  std::copy(v.begin(), v.end(), basis.Row(0));
+
+  std::vector<double> w(static_cast<size_t>(n), 0.0);
+  std::vector<double> theta;      // Ritz values of T_j, ascending.
+  Matrix s;                       // Eigenvectors of T_j.
+  int j = 0;
+  bool converged = false;
+
+  for (j = 0; j < max_iter; ++j) {
+    if (ctx != nullptr) {
+      Status st = ctx->CheckBudgets();
+      if (!st.ok()) return st;
+    }
+    const double* vj = basis.Row(j);
+    GENBASE_RETURN_NOT_OK(op.apply(vj, w.data()));
+    const double a_j = Dot(vj, w.data(), n);
+    alpha.push_back(a_j);
+    // w -= alpha_j v_j + beta_{j-1} v_{j-1}.
+    Axpy(-a_j, vj, w.data(), n);
+    if (j > 0) Axpy(-beta[j - 1], basis.Row(j - 1), w.data(), n);
+    if (reorthogonalize) {
+      // Two-pass modified Gram-Schmidt against the whole stored basis.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i <= j; ++i) {
+          const double c = Dot(basis.Row(i), w.data(), n);
+          if (c != 0.0) Axpy(-c, basis.Row(i), w.data(), n);
+        }
+      }
+    }
+    double b_j = Nrm2(w.data(), n);
+
+    // Convergence test on the projected (tridiagonal) problem.
+    const int m = j + 1;
+    if (m >= k || b_j <= 1e-300) {
+      std::vector<double> d(alpha.begin(), alpha.end());
+      std::vector<double> e(beta.begin(), beta.end());
+      e.resize(static_cast<size_t>(m), 0.0);
+      Matrix z(m, m);
+      for (int i = 0; i < m; ++i) z(i, i) = 1.0;
+      GENBASE_RETURN_NOT_OK(SymmetricTridiagonalEigen(&d, &e, &z));
+      // Residual bound for Ritz pair i: |beta_j * z(m-1, i)|.
+      bool all_ok = m >= k;
+      for (int i = 0; i < k && all_ok; ++i) {
+        const int col = m - 1 - i;  // Largest eigenvalues at the end.
+        const double resid = std::fabs(b_j * z(m - 1, col));
+        const double scale = std::max(1e-30, std::fabs(d[col]));
+        if (resid > options.tolerance * scale) all_ok = false;
+      }
+      if (all_ok || b_j <= 1e-300 || j + 1 == max_iter) {
+        theta = std::move(d);
+        s = std::move(z);
+        converged = all_ok;
+        ++j;
+        break;
+      }
+    }
+
+    if (b_j <= 1e-300) {
+      // Invariant subspace hit before k pairs: restart with a fresh random
+      // direction orthogonal to the basis.
+      for (auto& x : w) x = rng.Gaussian();
+      for (int i = 0; i <= j; ++i) {
+        const double c = Dot(basis.Row(i), w.data(), n);
+        Axpy(-c, basis.Row(i), w.data(), n);
+      }
+      b_j = Nrm2(w.data(), n);
+      if (b_j <= 1e-300) {
+        ++j;
+        break;  // Whole space exhausted.
+      }
+    }
+    beta.push_back(b_j);
+    if (j + 1 < max_iter) {
+      double* vnext = basis.Row(j + 1);
+      for (int64_t i = 0; i < n; ++i) vnext[i] = w[i] / b_j;
+    }
+  }
+
+  const int m = std::min<int>(j, static_cast<int>(alpha.size()));
+  if (theta.empty()) {
+    std::vector<double> d(alpha.begin(), alpha.begin() + m);
+    std::vector<double> e(beta.begin(),
+                          beta.begin() + std::max(0, m - 1));
+    e.resize(static_cast<size_t>(m), 0.0);
+    Matrix z(m, m);
+    for (int i = 0; i < m; ++i) z(i, i) = 1.0;
+    GENBASE_RETURN_NOT_OK(SymmetricTridiagonalEigen(&d, &e, &z));
+    theta = std::move(d);
+    s = std::move(z);
+  }
+
+  LanczosResult result;
+  result.iterations = m;
+  result.converged = converged;
+  const int found = std::min<int>(k, static_cast<int>(theta.size()));
+  result.eigenvalues.resize(found);
+  for (int i = 0; i < found; ++i) {
+    result.eigenvalues[i] = theta[theta.size() - 1 - i];  // Descending.
+  }
+  if (options.compute_vectors) {
+    result.eigenvectors = Matrix(n, found);
+    // Ritz vector i = sum_r basis[r] * s(r, col_i).
+    for (int i = 0; i < found; ++i) {
+      const int col = static_cast<int>(theta.size()) - 1 - i;
+      for (int r = 0; r < m; ++r) {
+        const double c = s(r, col);
+        if (c == 0.0) continue;
+        const double* br = basis.Row(r);
+        for (int64_t t = 0; t < n; ++t) result.eigenvectors(t, i) += c * br[t];
+      }
+      // Normalize (defensive; should already be unit norm).
+      double nrm = 0;
+      for (int64_t t = 0; t < n; ++t) {
+        nrm += result.eigenvectors(t, i) * result.eigenvectors(t, i);
+      }
+      nrm = std::sqrt(nrm);
+      if (nrm > 0) {
+        for (int64_t t = 0; t < n; ++t) result.eigenvectors(t, i) /= nrm;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+genbase::Result<LanczosResult> LanczosLargestEigenpairs(
+    const LinearOperator& op, const LanczosOptions& options,
+    ExecContext* ctx) {
+  return LanczosImpl(op, options, /*reorthogonalize=*/true, ctx);
+}
+
+genbase::Result<LanczosResult> LanczosNoReorth(const LinearOperator& op,
+                                               const LanczosOptions& options,
+                                               ExecContext* ctx) {
+  return LanczosImpl(op, options, /*reorthogonalize=*/false, ctx);
+}
+
+}  // namespace genbase::linalg

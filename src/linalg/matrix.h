@@ -1,0 +1,107 @@
+#ifndef GENBASE_LINALG_MATRIX_H_
+#define GENBASE_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/memory_tracker.h"
+#include "common/status.h"
+
+namespace genbase::linalg {
+
+/// \brief Dense row-major matrix of doubles. The single numeric container
+/// shared by all analytics kernels.
+///
+/// Allocation can be charged to a MemoryTracker via Create(), so engine
+/// memory budgets see analytics temporaries too (the paper observed
+/// "temporary space allocation failed on the large data sizes").
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0) {
+    GENBASE_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+  // Copies duplicate the data but not the budget reservation (the copy is
+  // untracked; use Create() + explicit copy for tracked duplicates).
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {}
+  Matrix& operator=(const Matrix& other) {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    reservation_.ReleaseNow();
+    return *this;
+  }
+
+  /// Tracker-charged allocation. Returns OutOfMemory if over budget.
+  static genbase::Result<Matrix> Create(int64_t rows, int64_t cols,
+                                        MemoryTracker* tracker) {
+    const int64_t bytes = rows * cols * static_cast<int64_t>(sizeof(double));
+    GENBASE_ASSIGN_OR_RETURN(auto reservation,
+                             ScopedReservation::Acquire(tracker, bytes));
+    Matrix m(rows, cols);
+    m.reservation_ = std::move(reservation);
+    return m;
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  double& operator()(int64_t i, int64_t j) {
+    GENBASE_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  double operator()(int64_t i, int64_t j) const {
+    GENBASE_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  double* Row(int64_t i) { return data_.data() + i * cols_; }
+  const double* Row(int64_t i) const { return data_.data() + i * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  int64_t bytes() const {
+    return size() * static_cast<int64_t>(sizeof(double));
+  }
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+  ScopedReservation reservation_;
+};
+
+/// \brief Non-owning read-only view (contiguous row-major with stride).
+struct MatrixView {
+  const double* data = nullptr;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t stride = 0;  // Leading dimension (elements between row starts).
+
+  MatrixView() = default;
+  MatrixView(const double* d, int64_t r, int64_t c, int64_t s)
+      : data(d), rows(r), cols(c), stride(s) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): views are cheap adapters.
+  MatrixView(const Matrix& m)
+      : data(m.data()), rows(m.rows()), cols(m.cols()), stride(m.cols()) {}
+
+  double operator()(int64_t i, int64_t j) const {
+    return data[i * stride + j];
+  }
+};
+
+}  // namespace genbase::linalg
+
+#endif  // GENBASE_LINALG_MATRIX_H_

@@ -1,0 +1,177 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace genbase::linalg {
+
+// Implementation note: the factorization works on the TRANSPOSE of A
+// (qrt_ is n x m; its row j is A's column j, contiguous in memory).
+// Householder QR is column-oriented — reflector construction and the
+// trailing update both walk columns of A — so the transposed layout turns
+// every inner loop into a contiguous (vectorizable) sweep. On a 3200x1200
+// factorization this is the difference between ~100 s (strided) and a few
+// seconds (contiguous).
+
+genbase::Result<HouseholderQr> HouseholderQr::Factor(Matrix a,
+                                                     ExecContext* ctx) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("QR requires rows >= cols, got " +
+                                   std::to_string(m) + " x " +
+                                   std::to_string(n));
+  }
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+  GENBASE_ASSIGN_OR_RETURN(Matrix qrt, Matrix::Create(n, m, tracker));
+  for (int64_t i = 0; i < m; ++i) {
+    const double* row = a.Row(i);
+    for (int64_t j = 0; j < n; ++j) qrt(j, i) = row[j];
+  }
+  a = Matrix();  // Release the input copy early.
+
+  ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
+  std::vector<double> tau(static_cast<size_t>(n), 0.0);
+  for (int64_t k = 0; k < n; ++k) {
+    if (ctx != nullptr && (k & 15) == 0) {
+      Status st = ctx->CheckBudgets();
+      if (!st.ok()) return st;
+    }
+    double* colk = qrt.Row(k);  // A's column k, contiguous.
+    // Build the Householder reflector for column k, rows k..m.
+    double norm_x = 0.0;
+    for (int64_t i = k; i < m; ++i) norm_x += colk[i] * colk[i];
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) {
+      tau[k] = 0.0;
+      continue;
+    }
+    const double alpha = colk[k] >= 0 ? -norm_x : norm_x;
+    const double v0 = colk[k] - alpha;
+    // Normalize so v(0) = 1 (stored implicitly).
+    const double inv_v0 = 1.0 / v0;
+    for (int64_t i = k + 1; i < m; ++i) colk[i] *= inv_v0;
+    tau[k] = -v0 / alpha;  // tau = 2 / (v^T v) with v(0)=1 normalization.
+    colk[k] = alpha;
+    // Apply H = I - tau v v^T to the trailing columns (rows of qrt).
+    // Each column's update is independent: safe to parallelize, and the
+    // result is bit-identical to the serial path.
+    const double tau_k = tau[k];
+    auto update = [&qrt, colk, k, m, tau_k](int64_t j_lo, int64_t j_hi) {
+      for (int64_t j = j_lo; j < j_hi; ++j) {
+        double* colj = qrt.Row(j);
+        double s = colj[k];
+        for (int64_t i = k + 1; i < m; ++i) s += colk[i] * colj[i];
+        s *= tau_k;
+        colj[k] -= s;
+        for (int64_t i = k + 1; i < m; ++i) colj[i] -= s * colk[i];
+      }
+    };
+    const int64_t trailing = n - (k + 1);
+    if (pool != nullptr && pool->num_threads() > 1 && trailing >= 64 &&
+        (m - k) * trailing >= 1 << 16) {
+      pool->ParallelFor(k + 1, n, update);
+    } else {
+      update(k + 1, n);
+    }
+  }
+  return HouseholderQr(std::move(qrt), std::move(tau));
+}
+
+void HouseholderQr::ApplyQTranspose(double* b) const {
+  const int64_t m = rows();
+  const int64_t n = cols();
+  for (int64_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    const double* colk = qrt_.Row(k);
+    double s = b[k];
+    for (int64_t i = k + 1; i < m; ++i) s += colk[i] * b[i];
+    s *= tau_[k];
+    b[k] -= s;
+    for (int64_t i = k + 1; i < m; ++i) b[i] -= s * colk[i];
+  }
+}
+
+void HouseholderQr::ApplyQ(double* b) const {
+  const int64_t m = rows();
+  const int64_t n = cols();
+  for (int64_t k = n - 1; k >= 0; --k) {
+    if (tau_[k] == 0.0) continue;
+    const double* colk = qrt_.Row(k);
+    double s = b[k];
+    for (int64_t i = k + 1; i < m; ++i) s += colk[i] * b[i];
+    s *= tau_[k];
+    b[k] -= s;
+    for (int64_t i = k + 1; i < m; ++i) b[i] -= s * colk[i];
+  }
+}
+
+genbase::Status HouseholderQr::SolveR(const double* b, double* x) const {
+  const int64_t n = cols();
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double s = b[i];
+    for (int64_t j = i + 1; j < n; ++j) s -= qrt_(j, i) * x[j];
+    const double d = qrt_(i, i);
+    if (std::fabs(d) < 1e-300) {
+      return Status::InvalidArgument("singular R in QR solve at column " +
+                                     std::to_string(i));
+    }
+    x[i] = s / d;
+  }
+  return Status::OK();
+}
+
+Matrix HouseholderQr::ThinQ() const {
+  const int64_t m = rows();
+  const int64_t n = cols();
+  Matrix q(m, n);
+  std::vector<double> e(static_cast<size_t>(m), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[static_cast<size_t>(j)] = 1.0;
+    ApplyQ(e.data());
+    for (int64_t i = 0; i < m; ++i) q(i, j) = e[static_cast<size_t>(i)];
+  }
+  return q;
+}
+
+Matrix HouseholderQr::R() const {
+  const int64_t n = cols();
+  Matrix r(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) r(i, j) = qrt_(j, i);
+  }
+  return r;
+}
+
+genbase::Result<LeastSquaresFit> LeastSquaresQr(Matrix a,
+                                                const std::vector<double>& b,
+                                                ExecContext* ctx) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  if (static_cast<int64_t>(b.size()) != m) {
+    return Status::InvalidArgument("rhs length mismatch");
+  }
+  // Total sum of squares for R^2 before b is transformed.
+  double mean_b = 0.0;
+  for (double v : b) mean_b += v;
+  mean_b /= static_cast<double>(m);
+  double tss = 0.0;
+  for (double v : b) tss += (v - mean_b) * (v - mean_b);
+
+  GENBASE_ASSIGN_OR_RETURN(HouseholderQr qr,
+                           HouseholderQr::Factor(std::move(a), ctx));
+  std::vector<double> qtb = b;
+  qr.ApplyQTranspose(qtb.data());
+  LeastSquaresFit fit;
+  fit.coefficients.resize(static_cast<size_t>(n));
+  GENBASE_RETURN_NOT_OK(qr.SolveR(qtb.data(), fit.coefficients.data()));
+  double rss = 0.0;
+  for (int64_t i = n; i < m; ++i) rss += qtb[i] * qtb[i];
+  fit.residual_norm = std::sqrt(rss);
+  fit.r_squared = tss > 0 ? 1.0 - rss / tss : 0.0;
+  return fit;
+}
+
+}  // namespace genbase::linalg

@@ -1,0 +1,90 @@
+#include "linalg/randomized_svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/jacobi.h"
+#include "linalg/qr.h"
+
+namespace genbase::linalg {
+
+genbase::Result<SvdResult> RandomizedSvd(const MatrixView& a,
+                                         const RandomizedSvdOptions& options,
+                                         ExecContext* ctx) {
+  const int64_t m = a.rows;
+  const int64_t n = a.cols;
+  if (m == 0 || n == 0) return Status::InvalidArgument("empty matrix");
+  const int k = static_cast<int>(std::min<int64_t>(options.rank, n));
+  const int64_t sketch =
+      std::min<int64_t>(n, std::min<int64_t>(m, k + options.oversample));
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+  ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
+
+  // Gaussian test matrix Omega (n x sketch) and the sample Y = A Omega.
+  Rng rng(options.seed);
+  GENBASE_ASSIGN_OR_RETURN(Matrix omega, Matrix::Create(n, sketch, tracker));
+  for (int64_t i = 0; i < omega.size(); ++i) {
+    omega.data()[i] = rng.Gaussian();
+  }
+  GENBASE_ASSIGN_OR_RETURN(Matrix y, Matrix::Create(m, sketch, tracker));
+  GENBASE_RETURN_NOT_OK(Gemm(a, MatrixView(omega), &y, pool, ctx));
+
+  // Power iterations with re-orthonormalization for numerical stability:
+  // Y <- A (A^T Q(Y)).
+  for (int it = 0; it < options.power_iterations; ++it) {
+    GENBASE_ASSIGN_OR_RETURN(HouseholderQr yqr,
+                             HouseholderQr::Factor(std::move(y), ctx));
+    Matrix q = yqr.ThinQ();
+    GENBASE_ASSIGN_OR_RETURN(Matrix z, Matrix::Create(n, sketch, tracker));
+    GENBASE_RETURN_NOT_OK(GemmTransposeA(a, MatrixView(q), &z, pool, ctx));
+    GENBASE_ASSIGN_OR_RETURN(y, Matrix::Create(m, sketch, tracker));
+    GENBASE_RETURN_NOT_OK(Gemm(a, MatrixView(z), &y, pool, ctx));
+  }
+
+  // Orthonormal range basis Q (m x sketch).
+  GENBASE_ASSIGN_OR_RETURN(HouseholderQr yqr,
+                           HouseholderQr::Factor(std::move(y), ctx));
+  Matrix q = yqr.ThinQ();
+
+  // Projected problem: B = Q^T A (sketch x n); eigen-decompose B B^T.
+  GENBASE_ASSIGN_OR_RETURN(Matrix b, Matrix::Create(sketch, n, tracker));
+  GENBASE_RETURN_NOT_OK(GemmTransposeA(MatrixView(q), a, &b, pool, ctx));
+  Matrix bbt(sketch, sketch);
+  for (int64_t i = 0; i < sketch; ++i) {
+    for (int64_t j = i; j < sketch; ++j) {
+      const double v = Dot(b.Row(i), b.Row(j), n);
+      bbt(i, j) = v;
+      bbt(j, i) = v;
+    }
+  }
+  GENBASE_ASSIGN_OR_RETURN(EigenDecomposition eig, JacobiEigen(bbt));
+
+  SvdResult out;
+  out.singular_values.resize(k);
+  out.u = Matrix(m, k);
+  out.v = Matrix(n, k);
+  std::vector<double> ub(static_cast<size_t>(sketch));
+  for (int i = 0; i < k; ++i) {
+    const int64_t col = sketch - 1 - i;  // Largest eigenvalues last.
+    const double sigma = std::sqrt(std::max(0.0, eig.values[col]));
+    out.singular_values[static_cast<size_t>(i)] = sigma;
+    for (int64_t t = 0; t < sketch; ++t) ub[t] = eig.vectors(t, col);
+    // U = Q * U_B.
+    for (int64_t r = 0; r < m; ++r) {
+      out.u(r, i) = Dot(q.Row(r), ub.data(), sketch);
+    }
+    // V = B^T U_B / sigma.
+    if (sigma > 1e-12) {
+      for (int64_t c = 0; c < n; ++c) {
+        double s = 0;
+        for (int64_t t = 0; t < sketch; ++t) s += b(t, c) * ub[t];
+        out.v(c, i) = s / sigma;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace genbase::linalg

@@ -1,0 +1,75 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace genbase::linalg {
+
+genbase::Result<SvdResult> TruncatedSvd(const MatrixView& a,
+                                        const SvdOptions& options,
+                                        ExecContext* ctx) {
+  const int64_t m = a.rows;
+  const int64_t n = a.cols;
+  if (m == 0 || n == 0) return Status::InvalidArgument("empty matrix in SVD");
+  ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
+  const bool tuned = options.quality == KernelQuality::kTuned;
+
+  // Gram operator: y = A^T (A x); temp buffer reused across applications.
+  std::vector<double> tmp(static_cast<size_t>(m));
+  LinearOperator op;
+  op.n = n;
+  op.apply = [&](const double* x, double* y) -> genbase::Status {
+    if (tuned) {
+      Gemv(a, x, tmp.data(), pool);
+      GemvTranspose(a, tmp.data(), y, pool);
+    } else {
+      // Naive path: no parallelism, no unrolled dot products.
+      for (int64_t i = 0; i < m; ++i) {
+        double s = 0;
+        for (int64_t j = 0; j < n; ++j) s += a(i, j) * x[j];
+        tmp[static_cast<size_t>(i)] = s;
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        double s = 0;
+        for (int64_t i = 0; i < m; ++i) s += a(i, j) * tmp[i];
+        y[j] = s;
+      }
+    }
+    if (ctx != nullptr) return ctx->CheckBudgets();
+    return genbase::Status::OK();
+  };
+
+  LanczosOptions lopt;
+  lopt.num_eigenpairs = std::min<int>(options.rank, static_cast<int>(n));
+  lopt.tolerance = options.tolerance;
+  lopt.seed = options.seed;
+  lopt.compute_vectors = true;
+  GENBASE_ASSIGN_OR_RETURN(
+      LanczosResult lr,
+      options.reorthogonalize ? LanczosLargestEigenpairs(op, lopt, ctx)
+                              : LanczosNoReorth(op, lopt, ctx));
+
+  SvdResult out;
+  out.lanczos_iterations = lr.iterations;
+  const int k = static_cast<int>(lr.eigenvalues.size());
+  out.singular_values.resize(k);
+  out.v = std::move(lr.eigenvectors);
+  out.u = Matrix(m, k);
+  std::vector<double> av(static_cast<size_t>(m));
+  std::vector<double> vcol(static_cast<size_t>(n));
+  for (int i = 0; i < k; ++i) {
+    const double lambda = std::max(0.0, lr.eigenvalues[i]);
+    const double sigma = std::sqrt(lambda);
+    out.singular_values[i] = sigma;
+    for (int64_t t = 0; t < n; ++t) vcol[t] = out.v(t, i);
+    Gemv(a, vcol.data(), av.data(), pool);
+    if (sigma > 1e-12) {
+      for (int64_t t = 0; t < m; ++t) out.u(t, i) = av[t] / sigma;
+    }
+  }
+  return out;
+}
+
+}  // namespace genbase::linalg

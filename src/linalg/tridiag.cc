@@ -1,0 +1,100 @@
+#include "linalg/tridiag.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genbase::linalg {
+
+namespace {
+
+double Hypot2(double a, double b) { return std::hypot(a, b); }
+
+}  // namespace
+
+genbase::Status SymmetricTridiagonalEigen(std::vector<double>* diag,
+                                          std::vector<double>* off,
+                                          Matrix* z) {
+  const int64_t n = static_cast<int64_t>(diag->size());
+  if (n == 0) return Status::OK();
+  if (static_cast<int64_t>(off->size()) < n) {
+    return Status::InvalidArgument("off-diagonal vector too short");
+  }
+  if (z != nullptr && (z->rows() != n || z->cols() != n)) {
+    return Status::InvalidArgument("eigenvector matrix must be n x n");
+  }
+  std::vector<double>& d = *diag;
+  std::vector<double> e(off->begin(), off->end());
+  // Shift e so e[i] couples d[i] and d[i+1]; e[n-1] = 0 sentinel.
+  e.resize(static_cast<size_t>(n));
+  e[static_cast<size_t>(n - 1)] = 0.0;
+
+  for (int64_t l = 0; l < n; ++l) {
+    int iter = 0;
+    int64_t m;
+    do {
+      // Find a small subdiagonal element.
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iter == 50) {
+          return Status::Internal("tridiagonal QL failed to converge");
+        }
+        // Wilkinson shift.
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = Hypot2(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (int64_t i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = Hypot2(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (z != nullptr) {
+            for (int64_t k = 0; k < n; ++k) {
+              f = (*z)(k, i + 1);
+              (*z)(k, i + 1) = s * (*z)(k, i) + c * f;
+              (*z)(k, i) = c * (*z)(k, i) - s * f;
+            }
+          }
+        }
+        if (r == 0.0 && m - 1 >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  // Sort ascending, permuting eigenvectors alongside.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int64_t a, int64_t b) { return d[a] < d[b]; });
+  std::vector<double> sorted_d(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) sorted_d[i] = d[order[i]];
+  if (z != nullptr) {
+    Matrix sorted_z(n, n);
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < n; ++i) sorted_z(i, j) = (*z)(i, order[j]);
+    }
+    *z = std::move(sorted_z);
+  }
+  d = std::move(sorted_d);
+  return Status::OK();
+}
+
+}  // namespace genbase::linalg

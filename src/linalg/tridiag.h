@@ -1,0 +1,25 @@
+#ifndef GENBASE_LINALG_TRIDIAG_H_
+#define GENBASE_LINALG_TRIDIAG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace genbase::linalg {
+
+/// \brief Eigen decomposition of a symmetric tridiagonal matrix via the
+/// implicit QL algorithm with Wilkinson shifts (EISPACK tql2 lineage).
+///
+/// On entry, diag has length n and off has length n (off[n-1] unused). On
+/// success, diag holds the eigenvalues in ascending order. If z is non-null
+/// it must be n x n (typically identity) and is overwritten with the
+/// corresponding eigenvectors in its columns. Used to solve the projected
+/// problem inside the Lanczos SVD of GenBase Query 4.
+genbase::Status SymmetricTridiagonalEigen(std::vector<double>* diag,
+                                          std::vector<double>* off,
+                                          Matrix* z = nullptr);
+
+}  // namespace genbase::linalg
+
+#endif  // GENBASE_LINALG_TRIDIAG_H_

@@ -1,0 +1,75 @@
+#ifndef GENBASE_RELATIONAL_COL_OPS_H_
+#define GENBASE_RELATIONAL_COL_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "storage/column_store.h"
+
+namespace genbase::relational {
+
+/// \brief Comparison predicate against a single column — the unit of
+/// vectorized filtering (a tight loop over one typed array, no per-tuple
+/// function calls). Conjunctions apply several predicates to a shrinking
+/// selection vector.
+struct ColumnPredicate {
+  enum class Op { kLt, kLe, kEq, kGe, kGt };
+  int column = 0;
+  Op op = Op::kLt;
+  storage::Value operand;
+
+  static ColumnPredicate Lt(int col, storage::Value v) {
+    return {col, Op::kLt, v};
+  }
+  static ColumnPredicate Le(int col, storage::Value v) {
+    return {col, Op::kLe, v};
+  }
+  static ColumnPredicate Eq(int col, storage::Value v) {
+    return {col, Op::kEq, v};
+  }
+  static ColumnPredicate Ge(int col, storage::Value v) {
+    return {col, Op::kGe, v};
+  }
+  static ColumnPredicate Gt(int col, storage::Value v) {
+    return {col, Op::kGt, v};
+  }
+};
+
+/// Row indices of `table` satisfying all predicates (ANDed), vectorized one
+/// predicate at a time.
+genbase::Result<std::vector<int64_t>> FilterColumns(
+    const storage::ColumnTable& table,
+    const std::vector<ColumnPredicate>& predicates, ExecContext* ctx);
+
+/// Gathers `selection` rows of `table` into a new ColumnTable.
+genbase::Result<storage::ColumnTable> GatherRows(
+    const storage::ColumnTable& table, const std::vector<int64_t>& selection,
+    ExecContext* ctx, MemoryTracker* tracker);
+
+/// \brief Join match pair lists (parallel arrays of row indices).
+struct JoinIndex {
+  std::vector<int64_t> left;
+  std::vector<int64_t> right;
+};
+
+/// Hash join on int64 key columns, producing the match index. The caller
+/// assembles output columns with GatherRows-style gathers, which is how a
+/// late-materializing column store executes joins.
+genbase::Result<JoinIndex> HashJoinIndices(const storage::ColumnTable& left,
+                                           int left_key,
+                                           const storage::ColumnTable& right,
+                                           int right_key, ExecContext* ctx,
+                                           MemoryTracker* tracker);
+
+/// As above but the left side is pre-filtered to `left_selection`.
+genbase::Result<JoinIndex> HashJoinIndicesFiltered(
+    const storage::ColumnTable& left, int left_key,
+    const std::vector<int64_t>& left_selection,
+    const storage::ColumnTable& right, int right_key, ExecContext* ctx,
+    MemoryTracker* tracker);
+
+}  // namespace genbase::relational
+
+#endif  // GENBASE_RELATIONAL_COL_OPS_H_

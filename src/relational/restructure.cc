@@ -1,0 +1,39 @@
+#include "relational/restructure.h"
+
+#include <algorithm>
+
+namespace genbase::relational {
+
+DenseMapping MakeDenseMapping(std::vector<int64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  DenseMapping m;
+  m.index.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    m.index.emplace(ids[i], static_cast<int64_t>(i));
+  }
+  m.ids = std::move(ids);
+  return m;
+}
+
+genbase::Result<linalg::Matrix> TriplesToMatrix(
+    const int64_t* row_ids, const int64_t* col_ids, const double* values,
+    int64_t count, const DenseMapping& row_map, const DenseMapping& col_map,
+    ExecContext* ctx, MemoryTracker* tracker) {
+  GENBASE_ASSIGN_OR_RETURN(
+      linalg::Matrix m,
+      linalg::Matrix::Create(row_map.size(), col_map.size(), tracker));
+  for (int64_t i = 0; i < count; ++i) {
+    if (ctx != nullptr && (i & 65535) == 0) {
+      GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
+    }
+    const auto rit = row_map.index.find(row_ids[i]);
+    if (rit == row_map.index.end()) continue;
+    const auto cit = col_map.index.find(col_ids[i]);
+    if (cit == col_map.index.end()) continue;
+    m(rit->second, cit->second) = values[i];
+  }
+  return m;
+}
+
+}  // namespace genbase::relational

@@ -1,0 +1,38 @@
+#ifndef GENBASE_RELATIONAL_RESTRUCTURE_H_
+#define GENBASE_RELATIONAL_RESTRUCTURE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace genbase::relational {
+
+/// \brief Mapping from sparse entity ids (gene/patient ids) to dense matrix
+/// indices — the "restructure the information as a matrix" step in the
+/// paper's query workflows. Relational engines pay this cost explicitly;
+/// the array engine does not (its data already lives in a matrix).
+struct DenseMapping {
+  std::vector<int64_t> ids;                     ///< index -> id (sorted).
+  std::unordered_map<int64_t, int64_t> index;   ///< id -> index.
+
+  int64_t size() const { return static_cast<int64_t>(ids.size()); }
+};
+
+/// Builds a mapping from (possibly unsorted, possibly duplicated) ids.
+DenseMapping MakeDenseMapping(std::vector<int64_t> ids);
+
+/// Scatters relational triples (row_id, col_id, value) into a dense matrix
+/// using the given mappings. Triples whose ids are absent from a mapping are
+/// skipped (they were filtered out upstream).
+genbase::Result<linalg::Matrix> TriplesToMatrix(
+    const int64_t* row_ids, const int64_t* col_ids, const double* values,
+    int64_t count, const DenseMapping& row_map, const DenseMapping& col_map,
+    ExecContext* ctx, MemoryTracker* tracker);
+
+}  // namespace genbase::relational
+
+#endif  // GENBASE_RELATIONAL_RESTRUCTURE_H_

@@ -1,0 +1,25 @@
+#ifndef GENBASE_STATS_NORMAL_H_
+#define GENBASE_STATS_NORMAL_H_
+
+#include <cmath>
+
+namespace genbase::stats {
+
+/// \brief Standard normal CDF via the complementary error function.
+inline double StdNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+/// \brief Standard normal survival function P(Z > z).
+inline double StdNormalSf(double z) {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+/// \brief Two-sided p-value for a standard normal statistic.
+inline double TwoSidedNormalPValue(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+}  // namespace genbase::stats
+
+#endif  // GENBASE_STATS_NORMAL_H_

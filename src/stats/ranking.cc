@@ -1,0 +1,42 @@
+#include "stats/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace genbase::stats {
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(static_cast<size_t>(n), 0.0);
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average of 1-based ranks i+1..j+1.
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (int64_t t = i; t <= j; ++t) ranks[order[t]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<int64_t> TieGroupSizes(const std::vector<double>& values) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int64_t> groups;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    if (j > i) groups.push_back(static_cast<int64_t>(j - i + 1));
+    i = j + 1;
+  }
+  return groups;
+}
+
+}  // namespace genbase::stats

@@ -1,0 +1,19 @@
+#ifndef GENBASE_STATS_RANKING_H_
+#define GENBASE_STATS_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace genbase::stats {
+
+/// \brief Returns 1-based ranks of `values`, ties receiving the average of
+/// the ranks they span (the "mid-rank" convention the Wilcoxon test needs).
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+/// \brief Tie-group sizes of the sorted values (for the tie-corrected
+/// variance in the rank-sum test). Only groups of size > 1 are returned.
+std::vector<int64_t> TieGroupSizes(const std::vector<double>& values);
+
+}  // namespace genbase::stats
+
+#endif  // GENBASE_STATS_RANKING_H_

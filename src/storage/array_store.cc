@@ -1,0 +1,85 @@
+#include "storage/array_store.h"
+
+#include <algorithm>
+
+namespace genbase::storage {
+
+genbase::Result<ChunkedArray2D> ChunkedArray2D::Create(
+    int64_t rows, int64_t cols, MemoryTracker* tracker, int64_t chunk) {
+  if (rows < 0 || cols < 0 || chunk <= 0) {
+    return genbase::Status::InvalidArgument("bad array shape");
+  }
+  ChunkedArray2D a;
+  a.rows_ = rows;
+  a.cols_ = cols;
+  a.chunk_ = chunk;
+  a.chunk_grid_rows_ = (rows + chunk - 1) / chunk;
+  a.chunk_grid_cols_ = (cols + chunk - 1) / chunk;
+  const int64_t n_chunks = a.chunk_grid_rows_ * a.chunk_grid_cols_;
+  const int64_t bytes = n_chunks * chunk * chunk * 8;
+  GENBASE_ASSIGN_OR_RETURN(a.reservation_,
+                           ScopedReservation::Acquire(tracker, bytes));
+  a.chunks_.resize(static_cast<size_t>(n_chunks));
+  for (auto& ch : a.chunks_) {
+    ch.data.assign(static_cast<size_t>(chunk * chunk), 0.0);
+  }
+  return a;
+}
+
+genbase::Result<linalg::Matrix> ChunkedArray2D::ToMatrix(
+    MemoryTracker* tracker) const {
+  GENBASE_ASSIGN_OR_RETURN(linalg::Matrix m,
+                           linalg::Matrix::Create(rows_, cols_, tracker));
+  for (int64_t cr = 0; cr < chunk_grid_rows_; ++cr) {
+    for (int64_t cc = 0; cc < chunk_grid_cols_; ++cc) {
+      const Chunk& ch = ChunkAt(cr, cc);
+      const int64_t r0 = cr * chunk_;
+      const int64_t c0 = cc * chunk_;
+      const int64_t rl = std::min(chunk_, rows_ - r0);
+      const int64_t cl = std::min(chunk_, cols_ - c0);
+      for (int64_t r = 0; r < rl; ++r) {
+        const double* src = ch.data.data() + r * chunk_;
+        std::copy(src, src + cl, m.Row(r0 + r) + c0);
+      }
+    }
+  }
+  return m;
+}
+
+genbase::Result<linalg::Matrix> ChunkedArray2D::GatherSubmatrix(
+    const std::vector<int64_t>& row_ids, const std::vector<int64_t>& col_ids,
+    MemoryTracker* tracker) const {
+  GENBASE_ASSIGN_OR_RETURN(
+      linalg::Matrix m,
+      linalg::Matrix::Create(static_cast<int64_t>(row_ids.size()),
+                             static_cast<int64_t>(col_ids.size()), tracker));
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    for (size_t j = 0; j < col_ids.size(); ++j) {
+      m(static_cast<int64_t>(i), static_cast<int64_t>(j)) =
+          Get(row_ids[i], col_ids[j]);
+    }
+  }
+  return m;
+}
+
+genbase::Result<ChunkedArray2D> ChunkedArray2D::FromMatrix(
+    const linalg::MatrixView& m, MemoryTracker* tracker, int64_t chunk) {
+  GENBASE_ASSIGN_OR_RETURN(ChunkedArray2D a,
+                           Create(m.rows, m.cols, tracker, chunk));
+  for (int64_t cr = 0; cr < a.chunk_grid_rows_; ++cr) {
+    for (int64_t cc = 0; cc < a.chunk_grid_cols_; ++cc) {
+      Chunk& ch = a.MutableChunkAt(cr, cc);
+      const int64_t r0 = cr * chunk;
+      const int64_t c0 = cc * chunk;
+      const int64_t rl = std::min(chunk, m.rows - r0);
+      const int64_t cl = std::min(chunk, m.cols - c0);
+      for (int64_t r = 0; r < rl; ++r) {
+        const double* src = m.data + (r0 + r) * m.stride + c0;
+        std::copy(src, src + cl, ch.data.data() + r * chunk);
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace genbase::storage

@@ -1,0 +1,133 @@
+#include "storage/column_store.h"
+
+namespace genbase::storage {
+
+ColumnTable::ColumnTable(Schema schema, MemoryTracker* tracker)
+    : schema_(std::move(schema)), tracker_(tracker) {
+  int_cols_.resize(static_cast<size_t>(schema_.num_fields()));
+  dbl_cols_.resize(static_cast<size_t>(schema_.num_fields()));
+}
+
+ColumnTable::~ColumnTable() { ReleaseAll(); }
+
+ColumnTable::ColumnTable(ColumnTable&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      tracker_(other.tracker_),
+      int_cols_(std::move(other.int_cols_)),
+      dbl_cols_(std::move(other.dbl_cols_)),
+      num_rows_(other.num_rows_),
+      reserved_bytes_(other.reserved_bytes_) {
+  other.tracker_ = nullptr;
+  other.reserved_bytes_ = 0;
+  other.num_rows_ = 0;
+}
+
+ColumnTable& ColumnTable::operator=(ColumnTable&& other) noexcept {
+  ReleaseAll();
+  schema_ = std::move(other.schema_);
+  tracker_ = other.tracker_;
+  int_cols_ = std::move(other.int_cols_);
+  dbl_cols_ = std::move(other.dbl_cols_);
+  num_rows_ = other.num_rows_;
+  reserved_bytes_ = other.reserved_bytes_;
+  other.tracker_ = nullptr;
+  other.reserved_bytes_ = 0;
+  other.num_rows_ = 0;
+  return *this;
+}
+
+void ColumnTable::ReleaseAll() {
+  if (tracker_ != nullptr && reserved_bytes_ > 0) {
+    tracker_->Release(reserved_bytes_);
+  }
+  reserved_bytes_ = 0;
+}
+
+genbase::Status ColumnTable::Reserve(int64_t rows) {
+  const int64_t bytes = rows * schema_.row_width();
+  if (tracker_ != nullptr) {
+    GENBASE_RETURN_NOT_OK(tracker_->Reserve(bytes));
+    reserved_bytes_ += bytes;
+  }
+  for (int c = 0; c < schema_.num_fields(); ++c) {
+    if (schema_.field(c).type == DataType::kInt64) {
+      int_cols_[static_cast<size_t>(c)].reserve(static_cast<size_t>(rows));
+    } else {
+      dbl_cols_[static_cast<size_t>(c)].reserve(static_cast<size_t>(rows));
+    }
+  }
+  return genbase::Status::OK();
+}
+
+genbase::Status ColumnTable::AppendRow(const std::vector<Value>& values) {
+  if (static_cast<int>(values.size()) != schema_.num_fields()) {
+    return genbase::Status::InvalidArgument("row arity mismatch");
+  }
+  // Charge the tracker in page-ish increments to keep accounting cheap.
+  if (tracker_ != nullptr &&
+      num_rows_ * schema_.row_width() >= reserved_bytes_) {
+    const int64_t grow = 64 * 1024;
+    GENBASE_RETURN_NOT_OK(tracker_->Reserve(grow));
+    reserved_bytes_ += grow;
+  }
+  for (int c = 0; c < schema_.num_fields(); ++c) {
+    if (schema_.field(c).type == DataType::kInt64) {
+      int_cols_[static_cast<size_t>(c)].push_back(values[c].AsInt());
+    } else {
+      dbl_cols_[static_cast<size_t>(c)].push_back(values[c].AsDouble());
+    }
+  }
+  ++num_rows_;
+  return genbase::Status::OK();
+}
+
+std::vector<int64_t>& ColumnTable::MutableIntColumn(int col) {
+  GENBASE_CHECK(schema_.field(col).type == DataType::kInt64);
+  return int_cols_[static_cast<size_t>(col)];
+}
+
+std::vector<double>& ColumnTable::MutableDoubleColumn(int col) {
+  GENBASE_CHECK(schema_.field(col).type == DataType::kDouble);
+  return dbl_cols_[static_cast<size_t>(col)];
+}
+
+const std::vector<int64_t>& ColumnTable::IntColumn(int col) const {
+  GENBASE_CHECK(schema_.field(col).type == DataType::kInt64);
+  return int_cols_[static_cast<size_t>(col)];
+}
+
+const std::vector<double>& ColumnTable::DoubleColumn(int col) const {
+  GENBASE_CHECK(schema_.field(col).type == DataType::kDouble);
+  return dbl_cols_[static_cast<size_t>(col)];
+}
+
+genbase::Status ColumnTable::FinishBulkLoad() {
+  int64_t rows = -1;
+  for (int c = 0; c < schema_.num_fields(); ++c) {
+    const int64_t n =
+        schema_.field(c).type == DataType::kInt64
+            ? static_cast<int64_t>(int_cols_[static_cast<size_t>(c)].size())
+            : static_cast<int64_t>(dbl_cols_[static_cast<size_t>(c)].size());
+    if (rows < 0) {
+      rows = n;
+    } else if (rows != n) {
+      return genbase::Status::InvalidArgument(
+          "bulk-loaded columns have differing lengths");
+    }
+  }
+  num_rows_ = rows < 0 ? 0 : rows;
+  return genbase::Status::OK();
+}
+
+int64_t ColumnTable::bytes() const {
+  int64_t total = 0;
+  for (const auto& c : int_cols_) {
+    total += static_cast<int64_t>(c.capacity() * sizeof(int64_t));
+  }
+  for (const auto& c : dbl_cols_) {
+    total += static_cast<int64_t>(c.capacity() * sizeof(double));
+  }
+  return total;
+}
+
+}  // namespace genbase::storage

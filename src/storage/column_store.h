@@ -1,0 +1,69 @@
+#ifndef GENBASE_STORAGE_COLUMN_STORE_H_
+#define GENBASE_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace genbase::storage {
+
+/// \brief Columnar table: one contiguous typed vector per attribute — the
+/// "popular column store" substrate. Scans and filters run vectorized over
+/// column arrays; row reconstruction gathers across columns (the cost the
+/// paper notes when several columns of a narrow table are retrieved).
+class ColumnTable {
+ public:
+  explicit ColumnTable(Schema schema, MemoryTracker* tracker = nullptr);
+  ~ColumnTable();
+
+  ColumnTable(ColumnTable&&) noexcept;
+  ColumnTable& operator=(ColumnTable&&) noexcept;
+  ColumnTable(const ColumnTable&) = delete;
+  ColumnTable& operator=(const ColumnTable&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Reserves capacity (and charges the tracker) ahead of a bulk load.
+  genbase::Status Reserve(int64_t rows);
+
+  /// Appends one row (slow path; bulk loads should use the typed column
+  /// writers below).
+  genbase::Status AppendRow(const std::vector<Value>& values);
+
+  /// Direct typed access for vectorized operators.
+  std::vector<int64_t>& MutableIntColumn(int col);
+  std::vector<double>& MutableDoubleColumn(int col);
+  const std::vector<int64_t>& IntColumn(int col) const;
+  const std::vector<double>& DoubleColumn(int col) const;
+
+  Value Get(int64_t row, int col) const {
+    const Field& f = schema_.field(col);
+    return f.type == DataType::kInt64
+               ? Value::Int(IntColumn(col)[static_cast<size_t>(row)])
+               : Value::Double(DoubleColumn(col)[static_cast<size_t>(row)]);
+  }
+
+  /// Recomputes num_rows after direct column writes; all columns must agree.
+  genbase::Status FinishBulkLoad();
+
+  int64_t bytes() const;
+
+ private:
+  void ReleaseAll();
+
+  Schema schema_;
+  MemoryTracker* tracker_;
+  // Per-field storage; only the vector matching the field type is used.
+  std::vector<std::vector<int64_t>> int_cols_;
+  std::vector<std::vector<double>> dbl_cols_;
+  int64_t num_rows_ = 0;
+  int64_t reserved_bytes_ = 0;
+};
+
+}  // namespace genbase::storage
+
+#endif  // GENBASE_STORAGE_COLUMN_STORE_H_

@@ -1,0 +1,198 @@
+#include "storage/encoding.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+namespace genbase::storage {
+
+namespace {
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+genbase::Status GetVarint(const std::vector<uint8_t>& in, size_t* pos,
+                          uint64_t* v) {
+  *v = 0;
+  int shift = 0;
+  while (*pos < in.size()) {
+    const uint8_t b = in[(*pos)++];
+    *v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return genbase::Status::OK();
+    shift += 7;
+    if (shift > 63) break;
+  }
+  return genbase::Status::IOError("truncated varint");
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+genbase::Result<EncodedBlock> EncodeInt64(const int64_t* values,
+                                          int64_t count,
+                                          ColumnEncoding encoding) {
+  if (count < 0) return genbase::Status::InvalidArgument("negative count");
+  EncodedBlock block;
+  block.encoding = encoding;
+  block.num_values = count;
+  switch (encoding) {
+    case ColumnEncoding::kPlain: {
+      block.payload.resize(static_cast<size_t>(count) * 8);
+      std::memcpy(block.payload.data(), values,
+                  static_cast<size_t>(count) * 8);
+      return block;
+    }
+    case ColumnEncoding::kRunLength: {
+      int64_t i = 0;
+      while (i < count) {
+        int64_t j = i;
+        while (j + 1 < count && values[j + 1] == values[i]) ++j;
+        PutVarint(&block.payload, ZigZag(values[i]));
+        PutVarint(&block.payload, static_cast<uint64_t>(j - i + 1));
+        i = j + 1;
+      }
+      return block;
+    }
+    case ColumnEncoding::kDelta: {
+      int64_t prev = 0;
+      for (int64_t i = 0; i < count; ++i) {
+        PutVarint(&block.payload, ZigZag(values[i] - prev));
+        prev = values[i];
+      }
+      return block;
+    }
+    case ColumnEncoding::kDictionary: {
+      std::vector<int64_t> dict;
+      std::unordered_map<int64_t, uint32_t> index;
+      std::vector<uint32_t> codes(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        auto [it, inserted] = index.emplace(
+            values[i], static_cast<uint32_t>(dict.size()));
+        if (inserted) dict.push_back(values[i]);
+        codes[static_cast<size_t>(i)] = it->second;
+      }
+      PutU64(&block.payload, dict.size());
+      for (int64_t v : dict) PutU64(&block.payload, static_cast<uint64_t>(v));
+      for (uint32_t c : codes) PutVarint(&block.payload, c);
+      return block;
+    }
+  }
+  return genbase::Status::InvalidArgument("unknown encoding");
+}
+
+genbase::Status DecodeInt64(const EncodedBlock& block,
+                            std::vector<int64_t>* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(block.num_values));
+  switch (block.encoding) {
+    case ColumnEncoding::kPlain: {
+      if (static_cast<int64_t>(block.payload.size()) !=
+          block.num_values * 8) {
+        return genbase::Status::IOError("plain block size mismatch");
+      }
+      out->resize(static_cast<size_t>(block.num_values));
+      std::memcpy(out->data(), block.payload.data(), block.payload.size());
+      return genbase::Status::OK();
+    }
+    case ColumnEncoding::kRunLength: {
+      size_t pos = 0;
+      while (static_cast<int64_t>(out->size()) < block.num_values) {
+        uint64_t zz = 0, run = 0;
+        GENBASE_RETURN_NOT_OK(GetVarint(block.payload, &pos, &zz));
+        GENBASE_RETURN_NOT_OK(GetVarint(block.payload, &pos, &run));
+        if (run == 0 ||
+            static_cast<int64_t>(out->size() + run) > block.num_values) {
+          return genbase::Status::IOError("corrupt run length");
+        }
+        out->insert(out->end(), static_cast<size_t>(run), UnZigZag(zz));
+      }
+      return genbase::Status::OK();
+    }
+    case ColumnEncoding::kDelta: {
+      size_t pos = 0;
+      int64_t prev = 0;
+      for (int64_t i = 0; i < block.num_values; ++i) {
+        uint64_t zz = 0;
+        GENBASE_RETURN_NOT_OK(GetVarint(block.payload, &pos, &zz));
+        prev += UnZigZag(zz);
+        out->push_back(prev);
+      }
+      return genbase::Status::OK();
+    }
+    case ColumnEncoding::kDictionary: {
+      if (block.payload.size() < 8) {
+        return genbase::Status::IOError("corrupt dictionary header");
+      }
+      const uint64_t dict_size = GetU64(block.payload.data());
+      if (block.payload.size() < 8 + dict_size * 8) {
+        return genbase::Status::IOError("corrupt dictionary");
+      }
+      std::vector<int64_t> dict(static_cast<size_t>(dict_size));
+      for (uint64_t d = 0; d < dict_size; ++d) {
+        dict[static_cast<size_t>(d)] = static_cast<int64_t>(
+            GetU64(block.payload.data() + 8 + d * 8));
+      }
+      size_t pos = 8 + static_cast<size_t>(dict_size) * 8;
+      for (int64_t i = 0; i < block.num_values; ++i) {
+        uint64_t code = 0;
+        GENBASE_RETURN_NOT_OK(GetVarint(block.payload, &pos, &code));
+        if (code >= dict_size) {
+          return genbase::Status::IOError("dictionary code out of range");
+        }
+        out->push_back(dict[static_cast<size_t>(code)]);
+      }
+      return genbase::Status::OK();
+    }
+  }
+  return genbase::Status::InvalidArgument("unknown encoding");
+}
+
+genbase::Result<EncodedBlock> EncodeInt64Auto(const int64_t* values,
+                                              int64_t count) {
+  EncodedBlock best;
+  bool have_best = false;
+  for (ColumnEncoding e :
+       {ColumnEncoding::kPlain, ColumnEncoding::kRunLength,
+        ColumnEncoding::kDelta, ColumnEncoding::kDictionary}) {
+    auto block = EncodeInt64(values, count, e);
+    if (!block.ok()) continue;
+    if (!have_best ||
+        block->payload.size() < best.payload.size()) {
+      best = std::move(block).ValueOrDie();
+      have_best = true;
+    }
+  }
+  if (!have_best) return genbase::Status::Internal("no encoding succeeded");
+  return best;
+}
+
+double CompressionRatio(const EncodedBlock& block) {
+  if (block.payload.empty()) return 1.0;
+  return static_cast<double>(block.num_values * 8) /
+         static_cast<double>(block.payload.size());
+}
+
+}  // namespace genbase::storage

@@ -1,0 +1,70 @@
+#include "storage/row_store.h"
+
+#include <cstring>
+
+namespace genbase::storage {
+
+RowStore::RowStore(Schema schema, MemoryTracker* tracker)
+    : schema_(std::move(schema)), tracker_(tracker) {
+  GENBASE_CHECK(schema_.num_fields() > 0);
+  rows_per_page_ = kPageBytes / schema_.row_width();
+  GENBASE_CHECK(rows_per_page_ > 0);
+}
+
+RowStore::~RowStore() { ReleaseAll(); }
+
+RowStore::RowStore(RowStore&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      tracker_(other.tracker_),
+      pages_(std::move(other.pages_)),
+      rows_per_page_(other.rows_per_page_),
+      num_rows_(other.num_rows_),
+      reserved_bytes_(other.reserved_bytes_) {
+  other.tracker_ = nullptr;
+  other.reserved_bytes_ = 0;
+  other.num_rows_ = 0;
+  other.pages_.clear();
+}
+
+RowStore& RowStore::operator=(RowStore&& other) noexcept {
+  ReleaseAll();
+  schema_ = std::move(other.schema_);
+  tracker_ = other.tracker_;
+  pages_ = std::move(other.pages_);
+  rows_per_page_ = other.rows_per_page_;
+  num_rows_ = other.num_rows_;
+  reserved_bytes_ = other.reserved_bytes_;
+  other.tracker_ = nullptr;
+  other.reserved_bytes_ = 0;
+  other.num_rows_ = 0;
+  other.pages_.clear();
+  return *this;
+}
+
+void RowStore::ReleaseAll() {
+  if (tracker_ != nullptr && reserved_bytes_ > 0) {
+    tracker_->Release(reserved_bytes_);
+  }
+  reserved_bytes_ = 0;
+  pages_.clear();
+}
+
+genbase::Status RowStore::Append(const Value* values) {
+  const int64_t slot = num_rows_ % rows_per_page_;
+  if (slot == 0) {
+    if (tracker_ != nullptr) {
+      GENBASE_RETURN_NOT_OK(tracker_->Reserve(kPageBytes));
+      reserved_bytes_ += kPageBytes;
+    }
+    pages_.push_back(std::make_unique<char[]>(kPageBytes));
+  }
+  char* dst = pages_.back().get() + slot * schema_.row_width();
+  for (int c = 0; c < schema_.num_fields(); ++c) {
+    // Both types are 8 bytes; copy the raw payload.
+    std::memcpy(dst + 8 * c, &values[c].i, 8);
+  }
+  ++num_rows_;
+  return genbase::Status::OK();
+}
+
+}  // namespace genbase::storage

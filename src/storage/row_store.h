@@ -1,0 +1,82 @@
+#ifndef GENBASE_STORAGE_ROW_STORE_H_
+#define GENBASE_STORAGE_ROW_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace genbase::storage {
+
+/// \brief Paged row-major table: the Postgres-like storage substrate.
+///
+/// Rows are packed fixed-width into 64 KiB heap pages; access goes through
+/// per-row offset arithmetic, which is exactly the cost profile that makes a
+/// row store cheap to append to and comparatively expensive to scan
+/// column-wise. Allocation is charged to an optional MemoryTracker.
+class RowStore {
+ public:
+  static constexpr int64_t kPageBytes = 64 * 1024;
+
+  explicit RowStore(Schema schema, MemoryTracker* tracker = nullptr);
+  ~RowStore();
+
+  RowStore(RowStore&&) noexcept;
+  RowStore& operator=(RowStore&&) noexcept;
+  RowStore(const RowStore&) = delete;
+  RowStore& operator=(const RowStore&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Appends one row; `values` must have schema().num_fields() entries.
+  genbase::Status Append(const Value* values);
+
+  genbase::Status AppendRow(const std::vector<Value>& values) {
+    return Append(values.data());
+  }
+
+  int64_t GetInt(int64_t row, int col) const {
+    return *reinterpret_cast<const int64_t*>(CellPtr(row, col));
+  }
+  double GetDouble(int64_t row, int col) const {
+    return *reinterpret_cast<const double*>(CellPtr(row, col));
+  }
+  Value Get(int64_t row, int col) const {
+    const Field& f = schema_.field(col);
+    return f.type == DataType::kInt64 ? Value::Int(GetInt(row, col))
+                                      : Value::Double(GetDouble(row, col));
+  }
+
+  /// Raw pointer to a row's packed bytes (within one page).
+  const char* RowPtr(int64_t row) const {
+    const int64_t page = row / rows_per_page_;
+    const int64_t slot = row % rows_per_page_;
+    return pages_[static_cast<size_t>(page)].get() +
+           slot * schema_.row_width();
+  }
+
+  int64_t bytes() const {
+    return static_cast<int64_t>(pages_.size()) * kPageBytes;
+  }
+
+ private:
+  const char* CellPtr(int64_t row, int col) const {
+    return RowPtr(row) + 8 * col;
+  }
+  void ReleaseAll();
+
+  Schema schema_;
+  MemoryTracker* tracker_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  int64_t rows_per_page_;
+  int64_t num_rows_ = 0;
+  int64_t reserved_bytes_ = 0;
+};
+
+}  // namespace genbase::storage
+
+#endif  // GENBASE_STORAGE_ROW_STORE_H_

@@ -1,0 +1,107 @@
+#ifndef GENBASE_STORAGE_TYPES_H_
+#define GENBASE_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace genbase::storage {
+
+/// GenBase schemas only need 64-bit integers (ids, codes) and doubles
+/// (expression values, drug response); both are 8 bytes, which keeps row
+/// layouts fixed-width.
+enum class DataType { kInt64, kDouble };
+
+inline const char* DataTypeName(DataType t) {
+  return t == DataType::kInt64 ? "int64" : "double";
+}
+
+/// \brief A typed scalar. Deliberately POD-simple: engines pass billions of
+/// these through tuple pipelines.
+struct Value {
+  DataType type = DataType::kInt64;
+  union {
+    int64_t i;
+    double d;
+  };
+
+  Value() : i(0) {}
+  static Value Int(int64_t v) {
+    Value x;
+    x.type = DataType::kInt64;
+    x.i = v;
+    return x;
+  }
+  static Value Double(double v) {
+    Value x;
+    x.type = DataType::kDouble;
+    x.d = v;
+    return x;
+  }
+
+  int64_t AsInt() const {
+    GENBASE_DCHECK(type == DataType::kInt64);
+    return i;
+  }
+  double AsDouble() const {
+    GENBASE_DCHECK(type == DataType::kDouble);
+    return d;
+  }
+  /// Numeric coercion (both types are exact doubles in GenBase's ranges).
+  double ToDouble() const {
+    return type == DataType::kDouble ? d : static_cast<double>(i);
+  }
+
+  bool operator==(const Value& o) const {
+    if (type != o.type) return false;
+    return type == DataType::kInt64 ? i == o.i : d == o.d;
+  }
+};
+
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+/// \brief Ordered field list. Fixed-width (8 bytes per field).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or -1.
+  int FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Bytes per packed row.
+  int64_t row_width() const { return 8 * num_fields(); }
+
+  std::string ToString() const {
+    std::string s = "(";
+    for (int i = 0; i < num_fields(); ++i) {
+      if (i > 0) s += ", ";
+      s += fields_[i].name;
+      s += ":";
+      s += DataTypeName(fields_[i].type);
+    }
+    s += ")";
+    return s;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace genbase::storage
+
+#endif  // GENBASE_STORAGE_TYPES_H_

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bicluster/cheng_church.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace genbase::bicluster {
+namespace {
+
+using linalg::Matrix;
+using linalg::MatrixView;
+
+std::vector<int64_t> Iota(int64_t n) {
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+// --- MSR ------------------------------------------------------------------------
+
+TEST(MsrTest, ConstantMatrixHasZeroResidue) {
+  Matrix m(6, 8);
+  m.Fill(3.5);
+  EXPECT_DOUBLE_EQ(MeanSquaredResidue(MatrixView(m), Iota(6), Iota(8)), 0.0);
+}
+
+TEST(MsrTest, AdditiveRowColumnPatternHasZeroResidue) {
+  // a_ij = r_i + c_j is the canonical perfect bicluster.
+  Matrix m(7, 9);
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 9; ++j) {
+      m(i, j) = 2.0 * i + 0.7 * j;
+    }
+  }
+  EXPECT_NEAR(MeanSquaredResidue(MatrixView(m), Iota(7), Iota(9)), 0.0,
+              1e-18);
+}
+
+TEST(MsrTest, NoiseHasPositiveResidue) {
+  Rng rng(1);
+  Matrix m(10, 10);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
+  EXPECT_GT(MeanSquaredResidue(MatrixView(m), Iota(10), Iota(10)), 0.1);
+}
+
+TEST(MsrTest, SubsetSelection) {
+  Matrix m(4, 4);
+  m.Fill(1.0);
+  m(3, 3) = 100.0;  // Outlier outside the selection.
+  EXPECT_DOUBLE_EQ(
+      MeanSquaredResidue(MatrixView(m), {0, 1, 2}, {0, 1, 2}), 0.0);
+}
+
+TEST(MsrTest, EmptySelectionIsZero) {
+  Matrix m(3, 3);
+  EXPECT_DOUBLE_EQ(MeanSquaredResidue(MatrixView(m), {}, {}), 0.0);
+}
+
+// --- ChengChurch -----------------------------------------------------------------
+
+/// Builds noise with a planted additive bicluster on rows [0, pr) and
+/// columns [0, pc).
+Matrix PlantedMatrix(int64_t rows, int64_t cols, int64_t pr, int64_t pc,
+                     uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Gaussian(0.0, 1.0);
+  }
+  for (int64_t i = 0; i < pr; ++i) {
+    for (int64_t j = 0; j < pc; ++j) {
+      m(i, j) = 8.0 + 0.5 * static_cast<double>(i) +
+                0.3 * static_cast<double>(j) + rng.Gaussian(0.0, 0.05);
+    }
+  }
+  return m;
+}
+
+/// Majority-coherent matrix: rows [0, pr) x cols [0, pc) follow an additive
+/// pattern a_ij = r_i + c_j + eps; everything else is unit noise.
+Matrix MajorityCoherentMatrix(int64_t rows, int64_t cols, int64_t pr,
+                              int64_t pc, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      if (i < pr && j < pc) {
+        m(i, j) = 0.5 * static_cast<double>(i) +
+                  0.3 * static_cast<double>(j) + rng.Gaussian(0.0, 0.05);
+      } else {
+        m(i, j) = rng.Gaussian(0.0, 1.0);
+      }
+    }
+  }
+  return m;
+}
+
+TEST(ChengChurchTest, DeletionPrunesIncoherentMinority) {
+  // Cheng-Church deletion keeps the most coherent large submatrix: with a
+  // majority additive pattern and a noisy minority of rows/columns, the
+  // noise must be pruned and (most of) the coherent block kept. (A *small*
+  // deviant block is deleted as an outlier instead — that is the
+  // algorithm's documented greedy behavior, not a bug.)
+  const Matrix m = MajorityCoherentMatrix(60, 50, 48, 42, 42);
+  ChengChurchOptions opt;
+  opt.delta = 0.05;
+  opt.max_biclusters = 1;
+  auto found = ChengChurch(MatrixView(m), opt);
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found->size(), 1u);
+  const Bicluster& b = (*found)[0];
+  int64_t coherent_rows = 0;
+  for (int64_t r : b.rows) coherent_rows += r < 48;
+  int64_t coherent_cols = 0;
+  for (int64_t c : b.cols) coherent_cols += c < 42;
+  // Everything kept must be coherent, and a sizable block must survive.
+  EXPECT_EQ(coherent_rows, static_cast<int64_t>(b.rows.size()));
+  EXPECT_EQ(coherent_cols, static_cast<int64_t>(b.cols.size()));
+  EXPECT_GE(coherent_rows, 20);
+  EXPECT_GE(coherent_cols, 15);
+  EXPECT_LE(b.mean_squared_residue, 0.05 * 1.05);
+}
+
+TEST(ChengChurchTest, ResultRespectsDelta) {
+  const Matrix m = PlantedMatrix(40, 40, 8, 8, 7);
+  ChengChurchOptions opt;
+  opt.delta = 0.2;
+  opt.max_biclusters = 2;
+  auto found = ChengChurch(MatrixView(m), opt);
+  ASSERT_TRUE(found.ok());
+  for (const auto& b : *found) {
+    EXPECT_GE(static_cast<int64_t>(b.rows.size()), opt.min_rows);
+    EXPECT_GE(static_cast<int64_t>(b.cols.size()), opt.min_cols);
+  }
+}
+
+TEST(ChengChurchTest, DeterministicAcrossRuns) {
+  const Matrix m = PlantedMatrix(30, 30, 6, 6, 9);
+  ChengChurchOptions opt;
+  opt.delta = 0.1;
+  opt.max_biclusters = 3;
+  auto a = ChengChurch(MatrixView(m), opt);
+  auto b = ChengChurch(MatrixView(m), opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].rows, (*b)[i].rows);
+    EXPECT_EQ((*a)[i].cols, (*b)[i].cols);
+    EXPECT_DOUBLE_EQ((*a)[i].mean_squared_residue,
+                     (*b)[i].mean_squared_residue);
+  }
+}
+
+TEST(ChengChurchTest, FindsRequestedNumberOfBiclusters) {
+  const Matrix m = PlantedMatrix(50, 40, 10, 8, 11);
+  ChengChurchOptions opt;
+  opt.delta = 0.3;
+  opt.max_biclusters = 4;
+  auto found = ChengChurch(MatrixView(m), opt);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->size(), 4u);
+}
+
+TEST(ChengChurchTest, PassHookIsInvoked) {
+  const Matrix m = PlantedMatrix(30, 30, 6, 6, 13);
+  ChengChurchOptions opt;
+  opt.delta = 0.05;
+  opt.max_biclusters = 1;
+  int calls = 0;
+  opt.pass_hook = [&calls]() {
+    ++calls;
+    return genbase::Status::OK();
+  };
+  ASSERT_TRUE(ChengChurch(MatrixView(m), opt).ok());
+  EXPECT_GT(calls, 1);
+}
+
+TEST(ChengChurchTest, PassHookErrorAborts) {
+  const Matrix m = PlantedMatrix(30, 30, 6, 6, 13);
+  ChengChurchOptions opt;
+  opt.delta = 0.05;
+  opt.pass_hook = []() {
+    return genbase::Status::DeadlineExceeded("stop");
+  };
+  auto result = ChengChurch(MatrixView(m), opt);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+TEST(ChengChurchTest, DeadlineAborts) {
+  const Matrix m = PlantedMatrix(40, 40, 8, 8, 15);
+  ChengChurchOptions opt;
+  opt.delta = 1e-9;  // Forces many iterations.
+  ExecContext ctx;
+  ctx.SetDeadlineAfter(-1.0);
+  auto result = ChengChurch(MatrixView(m), opt, &ctx);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+TEST(ChengChurchTest, RejectsTooSmallMatrix) {
+  Matrix m(1, 1);
+  ChengChurchOptions opt;
+  EXPECT_FALSE(ChengChurch(MatrixView(m), opt).ok());
+}
+
+}  // namespace
+}  // namespace genbase::bicluster

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "storage/encoding.h"
+
+namespace genbase::storage {
+namespace {
+
+std::vector<int64_t> Decode(const EncodedBlock& block) {
+  std::vector<int64_t> out;
+  GENBASE_CHECK_OK(DecodeInt64(block, &out));
+  return out;
+}
+
+struct EncodingCase {
+  ColumnEncoding encoding;
+  const char* name;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<EncodingCase> {};
+
+TEST_P(RoundTripTest, RandomValues) {
+  Rng rng(11);
+  std::vector<int64_t> values(5000);
+  for (auto& v : values) v = rng.UniformInt(-1'000'000, 1'000'000);
+  auto block = EncodeInt64(values.data(),
+                           static_cast<int64_t>(values.size()),
+                           GetParam().encoding);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(Decode(*block), values);
+}
+
+TEST_P(RoundTripTest, RunsAndRepeats) {
+  std::vector<int64_t> values;
+  for (int run = 0; run < 50; ++run) {
+    values.insert(values.end(), static_cast<size_t>(run % 7 + 1),
+                  run % 5);
+  }
+  auto block = EncodeInt64(values.data(),
+                           static_cast<int64_t>(values.size()),
+                           GetParam().encoding);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(Decode(*block), values);
+}
+
+TEST_P(RoundTripTest, SortedIds) {
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 3000; ++i) values.push_back(i * 3);
+  auto block = EncodeInt64(values.data(),
+                           static_cast<int64_t>(values.size()),
+                           GetParam().encoding);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(Decode(*block), values);
+}
+
+TEST_P(RoundTripTest, ExtremesAndNegatives) {
+  const std::vector<int64_t> values = {
+      0, -1, 1, INT64_MAX, INT64_MIN, INT64_MAX, -123456789012345LL};
+  auto block = EncodeInt64(values.data(),
+                           static_cast<int64_t>(values.size()),
+                           GetParam().encoding);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(Decode(*block), values);
+}
+
+TEST_P(RoundTripTest, Empty) {
+  auto block = EncodeInt64(nullptr, 0, GetParam().encoding);
+  ASSERT_TRUE(block.ok());
+  EXPECT_TRUE(Decode(*block).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, RoundTripTest,
+    ::testing::Values(EncodingCase{ColumnEncoding::kPlain, "plain"},
+                      EncodingCase{ColumnEncoding::kRunLength, "rle"},
+                      EncodingCase{ColumnEncoding::kDelta, "delta"},
+                      EncodingCase{ColumnEncoding::kDictionary, "dict"}),
+    [](const ::testing::TestParamInfo<EncodingCase>& info) {
+      return info.param.name;
+    });
+
+TEST(EncodingChoiceTest, RleWinsOnConstantColumn) {
+  std::vector<int64_t> values(10000, 42);  // e.g. the GO `belongs` column.
+  auto block =
+      EncodeInt64Auto(values.data(), static_cast<int64_t>(values.size()));
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->encoding, ColumnEncoding::kRunLength);
+  EXPECT_GT(CompressionRatio(*block), 1000.0);
+}
+
+TEST(EncodingChoiceTest, DeltaWinsOnSortedIds) {
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 10000; ++i) values.push_back(1'000'000 + i);
+  auto block =
+      EncodeInt64Auto(values.data(), static_cast<int64_t>(values.size()));
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->encoding, ColumnEncoding::kDelta);
+  EXPECT_GT(CompressionRatio(*block), 6.0);
+}
+
+TEST(EncodingChoiceTest, DictionaryWinsOnLowCardinalityWideValues) {
+  // Few distinct values but far apart in value space: deltas are wide
+  // (6-7 varint bytes) while dictionary codes are 1 byte.
+  Rng rng(3);
+  std::vector<int64_t> distinct(21);
+  for (auto& d : distinct) d = static_cast<int64_t>(rng.Next() >> 1);
+  std::vector<int64_t> values(10000);
+  for (auto& v : values) {
+    v = distinct[static_cast<size_t>(rng.UniformInt(0, 20))];
+  }
+  auto block =
+      EncodeInt64Auto(values.data(), static_cast<int64_t>(values.size()));
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->encoding, ColumnEncoding::kDictionary);
+  EXPECT_GT(CompressionRatio(*block), 4.0);
+}
+
+TEST(EncodingChoiceTest, PlainForHighEntropy) {
+  Rng rng(5);
+  std::vector<int64_t> values(5000);
+  for (auto& v : values) v = static_cast<int64_t>(rng.Next());
+  auto block =
+      EncodeInt64Auto(values.data(), static_cast<int64_t>(values.size()));
+  ASSERT_TRUE(block.ok());
+  // Random 64-bit values cannot compress; plain (or equal-size) wins.
+  EXPECT_LE(CompressionRatio(*block), 1.05);
+}
+
+TEST(EncodingErrorTest, CorruptPayloadRejected) {
+  std::vector<int64_t> values = {1, 2, 3};
+  auto block = EncodeInt64(values.data(), 3, ColumnEncoding::kDelta);
+  ASSERT_TRUE(block.ok());
+  block->payload.resize(1);  // Truncate.
+  std::vector<int64_t> out;
+  EXPECT_FALSE(DecodeInt64(*block, &out).ok());
+}
+
+TEST(EncodingErrorTest, DictionaryCodeOutOfRange) {
+  std::vector<int64_t> values = {7, 7, 7};
+  auto block = EncodeInt64(values.data(), 3, ColumnEncoding::kDictionary);
+  ASSERT_TRUE(block.ok());
+  block->payload.back() = 0x05;  // Point a code past the dictionary.
+  std::vector<int64_t> out;
+  EXPECT_FALSE(DecodeInt64(*block, &out).ok());
+}
+
+TEST(EncodingErrorTest, PlainSizeMismatch) {
+  EncodedBlock block;
+  block.encoding = ColumnEncoding::kPlain;
+  block.num_values = 2;
+  block.payload.resize(9);
+  std::vector<int64_t> out;
+  EXPECT_FALSE(DecodeInt64(block, &out).ok());
+}
+
+}  // namespace
+}  // namespace genbase::storage

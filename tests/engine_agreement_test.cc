@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/datasets.h"
+#include "core/driver.h"
+#include "core/generator.h"
+#include "core/reference.h"
+#include "core/verify.h"
+#include "engine/engines.h"
+
+namespace genbase {
+namespace {
+
+using core::DatasetSize;
+using core::GenBaseData;
+using core::QueryId;
+using core::QueryParams;
+using core::QueryResult;
+
+constexpr double kTinyScale = 0.008;
+
+const GenBaseData& TinyData() {
+  static const GenBaseData* data = [] {
+    auto r = core::GenerateDataset(DatasetSize::kSmall, kTinyScale);
+    GENBASE_CHECK(r.ok());
+    return new GenBaseData(std::move(r).ValueOrDie());
+  }();
+  return *data;
+}
+
+QueryParams TinyParams() {
+  QueryParams p;
+  p.svd_rank = 6;
+  p.bicluster_count = 2;
+  p.sample_fraction = 0.1;
+  return p;
+}
+
+const QueryResult& Expected(QueryId q) {
+  static auto* cache = new std::map<QueryId, QueryResult>();
+  auto it = cache->find(q);
+  if (it == cache->end()) {
+    auto r = core::RunReferenceQuery(q, TinyData(), TinyParams());
+    GENBASE_CHECK(r.ok());
+    it = cache->emplace(q, std::move(r).ValueOrDie()).first;
+  }
+  return it->second;
+}
+
+struct AgreementCase {
+  const char* engine_name;
+  std::unique_ptr<core::Engine> (*factory)();
+  QueryId query;
+};
+
+void PrintTo(const AgreementCase& c, std::ostream* os) {
+  *os << c.engine_name << "/" << core::QueryName(c.query);
+}
+
+class EngineAgreementTest : public ::testing::TestWithParam<AgreementCase> {};
+
+/// Every engine must produce the reference answer: the paper's systems
+/// differ in speed and architecture, never in what they compute.
+TEST_P(EngineAgreementTest, MatchesReference) {
+  const auto& param = GetParam();
+  auto engine = param.factory();
+  if (!engine->SupportsQuery(param.query)) {
+    GTEST_SKIP() << engine->name() << " does not support this query";
+  }
+  ASSERT_TRUE(engine->LoadDataset(TinyData()).ok());
+  ExecContext ctx;
+  engine->PrepareContext(&ctx);
+  auto result = engine->RunQuery(param.query, TinyParams(), &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const genbase::Status match =
+      core::CompareQueryResults(Expected(param.query), *result);
+  EXPECT_TRUE(match.ok()) << engine->name() << ": " << match.ToString();
+  engine->UnloadDataset();
+}
+
+std::vector<AgreementCase> AllCases() {
+  struct Factory {
+    const char* name;
+    std::unique_ptr<core::Engine> (*fn)();
+  };
+  static const Factory kFactories[] = {
+      {"VanillaR", engine::CreateVanillaR},
+      {"PostgresMadlib", engine::CreatePostgresMadlib},
+      {"PostgresR", engine::CreatePostgresR},
+      {"ColumnStoreR", engine::CreateColumnStoreR},
+      {"ColumnStoreUdf", engine::CreateColumnStoreUdf},
+      {"SciDB", engine::CreateSciDb},
+      {"Hadoop", engine::CreateHadoop},
+  };
+  std::vector<AgreementCase> cases;
+  for (const auto& f : kFactories) {
+    for (QueryId q : core::kAllQueries) {
+      cases.push_back({f.name, f.fn, q});
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<AgreementCase>& info) {
+  return std::string(info.param.engine_name) + "_" +
+         core::QueryName(info.param.query);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnginesAllQueries, EngineAgreementTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+/// Phase accounting: every successful run must attribute nonzero time and
+/// the glue phase must be zero for engines with no external bridge.
+TEST(EnginePhasesTest, SciDbHasNoGlue) {
+  auto engine = engine::CreateSciDb();
+  ASSERT_TRUE(engine->LoadDataset(TinyData()).ok());
+  ExecContext ctx;
+  engine->PrepareContext(&ctx);
+  auto result =
+      engine->RunQuery(QueryId::kRegression, TinyParams(), &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(ctx.clock().total(Phase::kDataManagement), 0.0);
+  EXPECT_GT(ctx.clock().total(Phase::kAnalytics), 0.0);
+  EXPECT_DOUBLE_EQ(ctx.clock().total(Phase::kGlue), 0.0);
+}
+
+TEST(EnginePhasesTest, PostgresRPaysGlue) {
+  auto engine = engine::CreatePostgresR();
+  ASSERT_TRUE(engine->LoadDataset(TinyData()).ok());
+  ExecContext ctx;
+  engine->PrepareContext(&ctx);
+  auto result =
+      engine->RunQuery(QueryId::kRegression, TinyParams(), &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(ctx.clock().total(Phase::kGlue), 0.0);
+}
+
+TEST(EnginePhasesTest, ColumnUdfChargesVirtualGlue) {
+  auto engine = engine::CreateColumnStoreUdf();
+  ASSERT_TRUE(engine->LoadDataset(TinyData()).ok());
+  ExecContext ctx;
+  engine->PrepareContext(&ctx);
+  auto result =
+      engine->RunQuery(QueryId::kBiclustering, TinyParams(), &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(ctx.clock().modeled(Phase::kGlue), 0.0);
+}
+
+TEST(EnginePhasesTest, HadoopChargesJobStartups) {
+  auto engine = engine::CreateHadoop();
+  ASSERT_TRUE(engine->LoadDataset(TinyData()).ok());
+  ExecContext ctx;
+  engine->PrepareContext(&ctx);
+  auto result =
+      engine->RunQuery(QueryId::kRegression, TinyParams(), &ctx);
+  ASSERT_TRUE(result.ok());
+  // At least 3 jobs (filter, join, restructure) + 1 Mahout job.
+  EXPECT_GE(ctx.clock().modeled(Phase::kDataManagement) +
+                ctx.clock().modeled(Phase::kAnalytics),
+            4 * 0.4);
+}
+
+}  // namespace
+}  // namespace genbase

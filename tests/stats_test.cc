@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/normal.h"
+#include "stats/quantile.h"
+#include "stats/ranking.h"
+#include "stats/wilcoxon.h"
+
+namespace genbase::stats {
+namespace {
+
+// --- ranking ------------------------------------------------------------------
+
+TEST(RankingTest, SimpleOrder) {
+  const std::vector<double> v = {10, 30, 20};
+  const auto r = AverageRanks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 3.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(RankingTest, TiesGetMidRanks) {
+  const std::vector<double> v = {5, 5, 1, 9};
+  const auto r = AverageRanks(v);
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(RankingTest, AllEqual) {
+  const std::vector<double> v = {2, 2, 2};
+  const auto r = AverageRanks(v);
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(RankingTest, RankSumIsInvariant) {
+  // Sum of ranks is always n(n+1)/2 regardless of ties.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v(50);
+    for (auto& x : v) x = rng.UniformInt(0, 9);  // Many ties.
+    const auto r = AverageRanks(v);
+    double sum = 0;
+    for (double x : r) sum += x;
+    EXPECT_NEAR(sum, 50.0 * 51.0 / 2.0, 1e-9);
+  }
+}
+
+TEST(RankingTest, TieGroupSizes) {
+  const std::vector<double> v = {1, 2, 2, 3, 3, 3};
+  const auto g = TieGroupSizes(v);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g[0], 2);
+  EXPECT_EQ(g[1], 3);
+}
+
+// --- normal ---------------------------------------------------------------------
+
+TEST(NormalTest, KnownValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(StdNormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(StdNormalSf(1.644853627), 0.05, 1e-6);
+}
+
+TEST(NormalTest, TwoSidedPValue) {
+  EXPECT_NEAR(TwoSidedNormalPValue(1.959963985), 0.05, 1e-6);
+  EXPECT_NEAR(TwoSidedNormalPValue(-1.959963985), 0.05, 1e-6);
+  EXPECT_NEAR(TwoSidedNormalPValue(0.0), 1.0, 1e-12);
+}
+
+// --- quantile ---------------------------------------------------------------------
+
+TEST(QuantileTest, MedianOfOddSet) {
+  auto q = Quantile({5, 1, 3}, 0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(*q, 3.0);
+}
+
+TEST(QuantileTest, ExtremesAreMinMax) {
+  const std::vector<double> v = {4, 8, 15, 16, 23, 42};
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.0), 4.0);
+  // q = 1.0 clamps to the last element.
+  EXPECT_DOUBLE_EQ(*Quantile(v, 1.0), 42.0);
+}
+
+TEST(QuantileTest, NinetiethPercentileSeparatesTopDecile) {
+  std::vector<double> v(1000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  auto q = Quantile(v, 0.9);
+  ASSERT_TRUE(q.ok());
+  int64_t above = 0;
+  for (double x : v) above += x > *q;
+  EXPECT_NEAR(static_cast<double>(above), 100.0, 2.0);
+}
+
+TEST(QuantileTest, RejectsBadInput) {
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
+}
+
+TEST(SampledQuantileTest, FullCopyWhenSmall) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  auto q = SampledQuantile(v.data(), 5, 0.5, 100, 1);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(*q, 3.0);
+}
+
+TEST(SampledQuantileTest, SampleApproximatesTrueQuantile) {
+  Rng rng(77);
+  std::vector<double> v(200000);
+  for (auto& x : v) x = rng.Uniform();
+  auto q = SampledQuantile(v.data(), static_cast<int64_t>(v.size()), 0.9,
+                           20000, 7);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(*q, 0.9, 0.02);
+}
+
+// --- Wilcoxon -----------------------------------------------------------------------
+
+TEST(WilcoxonTest, RejectsDegenerateGroups) {
+  EXPECT_FALSE(WilcoxonRankSum({1, 2}, {true, true}).ok());
+  EXPECT_FALSE(WilcoxonRankSum({1, 2}, {false, false}).ok());
+  EXPECT_FALSE(WilcoxonRankSum({1, 2}, {true}).ok());
+}
+
+TEST(WilcoxonTest, BalancedGroupsGiveZeroZ) {
+  // Group ranks symmetric around the middle -> z == 0.
+  const std::vector<double> v = {1, 2, 3, 4};
+  const std::vector<bool> mask = {true, false, false, true};
+  auto r = WilcoxonRankSum(v, mask);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->z, 0.0, 1e-12);
+  EXPECT_NEAR(r->p_two_sided, 1.0, 1e-12);
+}
+
+TEST(WilcoxonTest, ExtremeSeparationIsSignificant) {
+  std::vector<double> v(40);
+  std::vector<bool> mask(40);
+  for (int i = 0; i < 40; ++i) {
+    v[i] = i;
+    mask[i] = i >= 30;  // Top 10 values in-group.
+  }
+  auto r = WilcoxonRankSum(v, mask);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_two_sided, 1e-4);
+  EXPECT_GT(r->z, 3.0);
+}
+
+TEST(WilcoxonTest, SymmetricUnderGroupSwap) {
+  Rng rng(123);
+  std::vector<double> v(30);
+  std::vector<bool> mask(30), inv(30);
+  for (int i = 0; i < 30; ++i) {
+    v[i] = rng.Gaussian();
+    mask[i] = rng.Bernoulli(0.4);
+    inv[i] = !mask[i];
+  }
+  int in = std::count(mask.begin(), mask.end(), true);
+  if (in == 0 || in == 30) GTEST_SKIP();
+  auto a = WilcoxonRankSum(v, mask);
+  auto b = WilcoxonRankSum(v, inv);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->z, -b->z, 1e-9);
+  EXPECT_NEAR(a->p_two_sided, b->p_two_sided, 1e-9);
+}
+
+TEST(WilcoxonTest, AllValuesEqualGivesPOne) {
+  const std::vector<double> v = {3, 3, 3, 3};
+  const std::vector<bool> mask = {true, true, false, false};
+  auto r = WilcoxonRankSum(v, mask);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->p_two_sided, 1.0);
+}
+
+/// Property test: the normal approximation with continuity correction should
+/// track the exact enumeration p-value on small inputs.
+struct ExactCase {
+  uint64_t seed;
+  int n;
+  int k;
+};
+
+class WilcoxonExactTest : public ::testing::TestWithParam<ExactCase> {};
+
+TEST_P(WilcoxonExactTest, NormalApproxTracksExact) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  std::vector<double> v(p.n);
+  std::vector<bool> mask(p.n, false);
+  for (auto& x : v) x = rng.Gaussian();
+  for (int i = 0; i < p.k; ++i) mask[i] = true;
+  // Shuffle the mask deterministically (vector<bool> needs a manual swap).
+  for (int i = p.n - 1; i > 0; --i) {
+    const int64_t j = rng.UniformInt(0, i);
+    const bool tmp = mask[static_cast<size_t>(i)];
+    mask[static_cast<size_t>(i)] = mask[static_cast<size_t>(j)];
+    mask[static_cast<size_t>(j)] = tmp;
+  }
+  if (std::count(mask.begin(), mask.end(), true) == 0) GTEST_SKIP();
+  auto approx = WilcoxonRankSum(v, mask);
+  auto exact = ExactRankSumPValue(v, mask);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(exact.ok());
+  // The approximation is coarse at these sizes; assert agreement within a
+  // generous band plus matching significance direction at alpha = 0.25.
+  EXPECT_NEAR(approx->p_two_sided, *exact, 0.12)
+      << "n=" << p.n << " k=" << p.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInputs, WilcoxonExactTest,
+    ::testing::Values(ExactCase{1, 10, 3}, ExactCase{2, 12, 6},
+                      ExactCase{3, 14, 4}, ExactCase{4, 15, 7},
+                      ExactCase{5, 16, 8}, ExactCase{6, 12, 2},
+                      ExactCase{7, 18, 9}, ExactCase{8, 18, 5}));
+
+TEST(WilcoxonExactTest, ExactRejectsLargeInput) {
+  std::vector<double> v(25, 0.0);
+  std::vector<bool> m(25, false);
+  m[0] = true;
+  EXPECT_FALSE(ExactRankSumPValue(v, m).ok());
+}
+
+TEST(WilcoxonTest, UStatisticIdentity) {
+  // U1 + U2 == n1 * n2.
+  Rng rng(321);
+  std::vector<double> v(20);
+  std::vector<bool> mask(20), inv(20);
+  for (int i = 0; i < 20; ++i) {
+    v[i] = rng.Gaussian();
+    mask[i] = i < 8;
+    inv[i] = !mask[i];
+  }
+  auto a = WilcoxonRankSum(v, mask);
+  auto b = WilcoxonRankSum(v, inv);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->u_statistic + b->u_statistic, 8.0 * 12.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace genbase::stats

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/array_store.h"
+#include "storage/column_store.h"
+#include "storage/row_store.h"
+#include "storage/types.h"
+
+namespace genbase::storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"weight", DataType::kDouble},
+                 {"group", DataType::kInt64}});
+}
+
+// --- types --------------------------------------------------------------------
+
+TEST(ValueTest, TypedAccess) {
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Int(5).ToDouble(), 5.0);
+  EXPECT_TRUE(Value::Int(3) == Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Double(3.0));
+}
+
+TEST(SchemaTest, FieldLookup) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 3);
+  EXPECT_EQ(s.FieldIndex("weight"), 1);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+  EXPECT_EQ(s.row_width(), 24);
+  EXPECT_EQ(s.ToString(), "(id:int64, weight:double, group:int64)");
+}
+
+// --- RowStore -------------------------------------------------------------------
+
+TEST(RowStoreTest, AppendAndGet) {
+  RowStore t(TestSchema());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::Double(i * 0.5),
+                             Value::Int(i % 3)})
+                    .ok());
+  }
+  EXPECT_EQ(t.num_rows(), 10);
+  EXPECT_EQ(t.GetInt(7, 0), 7);
+  EXPECT_DOUBLE_EQ(t.GetDouble(7, 1), 3.5);
+  EXPECT_EQ(t.GetInt(7, 2), 1);
+}
+
+TEST(RowStoreTest, SpansManyPages) {
+  RowStore t(TestSchema());
+  const int64_t rows = 10000;  // 24 B/row * 10000 > 64 KiB.
+  for (int64_t i = 0; i < rows; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::Double(i),
+                             Value::Int(-i)})
+                    .ok());
+  }
+  EXPECT_GT(t.bytes(), RowStore::kPageBytes);
+  for (int64_t i = 0; i < rows; i += 997) {
+    EXPECT_EQ(t.GetInt(i, 0), i);
+    EXPECT_EQ(t.GetInt(i, 2), -i);
+  }
+}
+
+TEST(RowStoreTest, ChargesAndReleasesTracker) {
+  MemoryTracker tracker(10 << 20);
+  {
+    RowStore t(TestSchema(), &tracker);
+    ASSERT_TRUE(
+        t.AppendRow({Value::Int(1), Value::Double(1), Value::Int(1)}).ok());
+    EXPECT_EQ(tracker.used(), RowStore::kPageBytes);
+  }
+  EXPECT_EQ(tracker.used(), 0);
+}
+
+TEST(RowStoreTest, BudgetFailureOnAppend) {
+  MemoryTracker tracker(1000);  // Less than one page.
+  RowStore t(TestSchema(), &tracker);
+  Status s =
+      t.AppendRow({Value::Int(1), Value::Double(1), Value::Int(1)});
+  EXPECT_TRUE(s.IsOutOfMemory());
+  EXPECT_EQ(t.num_rows(), 0);
+}
+
+TEST(RowStoreTest, MoveTransfersOwnership) {
+  MemoryTracker tracker(10 << 20);
+  RowStore a(TestSchema(), &tracker);
+  ASSERT_TRUE(
+      a.AppendRow({Value::Int(9), Value::Double(9), Value::Int(9)}).ok());
+  RowStore b = std::move(a);
+  EXPECT_EQ(b.num_rows(), 1);
+  EXPECT_EQ(b.GetInt(0, 0), 9);
+  EXPECT_EQ(tracker.used(), RowStore::kPageBytes);
+}
+
+// --- ColumnTable ------------------------------------------------------------------
+
+TEST(ColumnTableTest, AppendRowAndTypedColumns) {
+  ColumnTable t(TestSchema());
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::Double(2.0 * i),
+                             Value::Int(i * i)})
+                    .ok());
+  }
+  EXPECT_EQ(t.num_rows(), 5);
+  EXPECT_EQ(t.IntColumn(0)[3], 3);
+  EXPECT_DOUBLE_EQ(t.DoubleColumn(1)[3], 6.0);
+  EXPECT_EQ(t.Get(4, 2).AsInt(), 16);
+}
+
+TEST(ColumnTableTest, BulkLoadPath) {
+  ColumnTable t(TestSchema());
+  ASSERT_TRUE(t.Reserve(3).ok());
+  t.MutableIntColumn(0) = {1, 2, 3};
+  t.MutableDoubleColumn(1) = {0.1, 0.2, 0.3};
+  t.MutableIntColumn(2) = {7, 8, 9};
+  ASSERT_TRUE(t.FinishBulkLoad().ok());
+  EXPECT_EQ(t.num_rows(), 3);
+}
+
+TEST(ColumnTableTest, BulkLoadDetectsRaggedColumns) {
+  ColumnTable t(TestSchema());
+  t.MutableIntColumn(0) = {1, 2, 3};
+  t.MutableDoubleColumn(1) = {0.1};
+  t.MutableIntColumn(2) = {7, 8, 9};
+  EXPECT_FALSE(t.FinishBulkLoad().ok());
+}
+
+TEST(ColumnTableTest, ReserveChargesTracker) {
+  MemoryTracker tracker(1 << 20);
+  ColumnTable t(TestSchema(), &tracker);
+  ASSERT_TRUE(t.Reserve(100).ok());
+  EXPECT_EQ(tracker.used(), 100 * 24);
+}
+
+TEST(ColumnTableTest, ReserveFailsOverBudget) {
+  MemoryTracker tracker(100);
+  ColumnTable t(TestSchema(), &tracker);
+  EXPECT_TRUE(t.Reserve(1000).IsOutOfMemory());
+}
+
+// --- ChunkedArray2D ------------------------------------------------------------------
+
+TEST(ChunkedArrayTest, SetGetAcrossChunkBoundaries) {
+  auto a = ChunkedArray2D::Create(300, 520, nullptr, 256);
+  ASSERT_TRUE(a.ok());
+  a->Set(0, 0, 1.5);
+  a->Set(255, 255, 2.5);
+  a->Set(256, 256, 3.5);
+  a->Set(299, 519, 4.5);
+  EXPECT_DOUBLE_EQ(a->Get(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a->Get(255, 255), 2.5);
+  EXPECT_DOUBLE_EQ(a->Get(256, 256), 3.5);
+  EXPECT_DOUBLE_EQ(a->Get(299, 519), 4.5);
+  EXPECT_DOUBLE_EQ(a->Get(100, 100), 0.0);
+}
+
+TEST(ChunkedArrayTest, MatrixRoundTrip) {
+  Rng rng(3);
+  linalg::Matrix m(70, 90);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
+  auto a = ChunkedArray2D::FromMatrix(linalg::MatrixView(m), nullptr, 32);
+  ASSERT_TRUE(a.ok());
+  auto back = a->ToMatrix(nullptr);
+  ASSERT_TRUE(back.ok());
+  for (int64_t i = 0; i < m.size(); ++i) {
+    ASSERT_EQ(back->data()[i], m.data()[i]);
+  }
+}
+
+TEST(ChunkedArrayTest, GatherSubmatrix) {
+  auto a = ChunkedArray2D::Create(10, 10, nullptr, 4);
+  ASSERT_TRUE(a.ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = 0; j < 10; ++j) a->Set(i, j, i * 10.0 + j);
+  }
+  auto sub = a->GatherSubmatrix({1, 5, 9}, {0, 7}, nullptr);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->rows(), 3);
+  EXPECT_EQ(sub->cols(), 2);
+  EXPECT_DOUBLE_EQ((*sub)(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ((*sub)(1, 1), 57.0);
+  EXPECT_DOUBLE_EQ((*sub)(2, 0), 90.0);
+}
+
+TEST(ChunkedArrayTest, TrackerChargedForChunks) {
+  MemoryTracker tracker(MemoryTracker::kUnlimited);
+  auto a = ChunkedArray2D::Create(100, 100, &tracker, 64);
+  ASSERT_TRUE(a.ok());
+  // 2x2 chunk grid of 64x64 chunks.
+  EXPECT_EQ(tracker.used(), 4 * 64 * 64 * 8);
+}
+
+TEST(ChunkedArrayTest, BudgetFailure) {
+  MemoryTracker tracker(1000);
+  auto a = ChunkedArray2D::Create(1000, 1000, &tracker);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(a.status().IsOutOfMemory());
+  EXPECT_EQ(tracker.used(), 0);
+}
+
+TEST(ChunkedArrayTest, RejectsBadShapes) {
+  EXPECT_FALSE(ChunkedArray2D::Create(-1, 5).ok());
+  EXPECT_FALSE(ChunkedArray2D::Create(5, 5, nullptr, 0).ok());
+}
+
+}  // namespace
+}  // namespace genbase::storage
