@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "core/config.h"
 #include "core/generator.h"
+#include "workload/report.h"
 
 namespace genbase::bench {
 
@@ -124,11 +125,7 @@ std::string CellDisplay(const std::string& engine, core::QueryId query,
   return c == nullptr ? "?" : c->Display();
 }
 
-std::string FormatSeconds(double s) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.3f", s);
-  return buf;
-}
+std::string FormatSeconds(double s) { return workload::FormatSeconds(s); }
 
 void PrintBanner(const char* figure) {
   const auto& c = core::SimConfig::Get();

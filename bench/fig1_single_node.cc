@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "core/driver.h"
+#include "workload/report.h"
 #include "engine/engines.h"
 
 namespace genbase::bench {
@@ -87,7 +88,7 @@ void PrintFigure() {
       }
       cells.push_back(std::move(row));
     }
-    core::PrintGrid(title, "dataset", x_values, engines, cells);
+    workload::PrintGrid(title, "dataset", x_values, engines, cells);
   }
 
   // Section 4.3's scaling claims: growth factors medium -> large per engine

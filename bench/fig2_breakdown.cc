@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "core/driver.h"
+#include "workload/report.h"
 #include "engine/engines.h"
 
 namespace genbase::bench {
@@ -88,7 +89,7 @@ void PrintFigure() {
       }
       cells.push_back(std::move(row));
     }
-    core::PrintGrid(panel.title, "dataset", x_values, engines, cells);
+    workload::PrintGrid(panel.title, "dataset", x_values, engines, cells);
   }
   // Glue share (the copy/reformat cost the paper highlights).
   std::printf("\n=== Glue (copy/reformat) share of data management, "

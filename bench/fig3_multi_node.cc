@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "cluster/cluster_engine.h"
 #include "core/driver.h"
+#include "workload/report.h"
 
 namespace genbase::bench {
 namespace {
@@ -85,7 +86,7 @@ void PrintFigure() {
       }
       cells.push_back(std::move(row));
     }
-    core::PrintGrid(title, "nodes", x_values, engines, cells);
+    workload::PrintGrid(title, "nodes", x_values, engines, cells);
   }
 
   std::printf("\n=== Speedup 1 -> 4 nodes (overall; paper: 'no systems "

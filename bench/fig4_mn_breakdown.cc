@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "cluster/cluster_engine.h"
 #include "core/driver.h"
+#include "workload/report.h"
 
 namespace genbase::bench {
 namespace {
@@ -84,7 +85,7 @@ void PrintFigure() {
       }
       cells.push_back(std::move(row));
     }
-    core::PrintGrid(panel.title, "nodes", x_values, engines, cells);
+    workload::PrintGrid(panel.title, "nodes", x_values, engines, cells);
   }
 }
 

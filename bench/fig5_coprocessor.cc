@@ -13,6 +13,7 @@
 #include "accel/phi_engine.h"
 #include "bench/bench_util.h"
 #include "core/driver.h"
+#include "workload/report.h"
 #include "engine/engines.h"
 
 namespace genbase::bench {
@@ -75,7 +76,7 @@ void PrintFigure() {
       for (const auto& e : engines) row.push_back(CellDisplay(e, query, s));
       cells.push_back(std::move(row));
     }
-    core::PrintGrid(title, "dataset", x_values, engines, cells);
+    workload::PrintGrid(title, "dataset", x_values, engines, cells);
   }
 
   std::printf("\n=== Analytics-phase speedup (paper: '1.4-2.6X better ... in "

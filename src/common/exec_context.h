@@ -75,6 +75,16 @@ class ExecContext {
   }
   void ClearDeadline() { deadline_.reset(); }
 
+  /// Returns the context to a fresh state so one context can be reused
+  /// across operations (the workload runner keeps one per client thread).
+  /// Engine-installed pointers (memory, pool) are left in place; the next
+  /// PrepareContext overwrites them anyway.
+  void ResetForRun() {
+    deadline_.reset();
+    cancelled_.store(false, std::memory_order_relaxed);
+    clock_.Reset();
+  }
+
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
   bool cancelled() const {
     return cancelled_.load(std::memory_order_relaxed);

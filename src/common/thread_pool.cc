@@ -72,15 +72,33 @@ void ThreadPool::ParallelFor(
     return;
   }
   const int64_t chunk = (n + shards - 1) / shards;
+  // Per-call completion latch rather than Wait(): Wait drains the *whole*
+  // pool, so on a shared pool (concurrent workload clients) it would block
+  // on — and charge this caller's phase timer for — other callers' tasks.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining = 0;
+  };
+  auto latch = std::make_shared<Latch>();
   // The calling thread takes the first shard; workers take the rest.
   for (int s = 1; s < shards; ++s) {
     const int64_t lo = begin + s * chunk;
     const int64_t hi = std::min(end, lo + chunk);
     if (lo >= hi) continue;
-    Submit([fn, lo, hi] { fn(lo, hi); });
+    {
+      std::unique_lock<std::mutex> lock(latch->mu);
+      ++latch->remaining;
+    }
+    Submit([fn, lo, hi, latch] {
+      fn(lo, hi);
+      std::unique_lock<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->cv.notify_all();
+    });
   }
   fn(begin, std::min(end, begin + chunk));
-  Wait();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
 }
 
 ThreadPool* DefaultPool() {

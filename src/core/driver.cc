@@ -17,6 +17,12 @@ std::string CellResult::Display() const {
 
 CellResult RunCell(Engine* engine, QueryId query, DatasetSize size,
                    const DriverOptions& options) {
+  ExecContext ctx;
+  return RunCellWithContext(engine, query, size, options, &ctx);
+}
+
+CellResult RunCellWithContext(Engine* engine, QueryId query, DatasetSize size,
+                              const DriverOptions& options, ExecContext* ctx) {
   CellResult cell;
   cell.engine = engine->name();
   cell.query = query;
@@ -27,16 +33,19 @@ CellResult RunCell(Engine* engine, QueryId query, DatasetSize size,
         cell.engine + " does not implement " + QueryName(query));
     return cell;
   }
-  ExecContext ctx;
-  engine->PrepareContext(&ctx);
-  ctx.SetDeadlineAfter(options.timeout_seconds);
+  ctx->ResetForRun();
+  engine->PrepareContext(ctx);
+  ctx->SetDeadlineAfter(options.timeout_seconds);
 
-  auto result = engine->RunQuery(query, options.params, &ctx);
-  cell.dm_s = ctx.clock().total(Phase::kDataManagement) +
-              ctx.clock().total(Phase::kGlue);
-  cell.analytics_s = ctx.clock().total(Phase::kAnalytics);
-  cell.glue_s = ctx.clock().total(Phase::kGlue);
-  cell.total_s = ctx.clock().grand_total();
+  auto result = engine->RunQuery(query, options.params, ctx);
+  cell.dm_s = ctx->clock().total(Phase::kDataManagement) +
+              ctx->clock().total(Phase::kGlue);
+  cell.analytics_s = ctx->clock().total(Phase::kAnalytics);
+  cell.glue_s = ctx->clock().total(Phase::kGlue);
+  cell.total_s = ctx->clock().grand_total();
+  cell.modeled_s = ctx->clock().modeled(Phase::kDataManagement) +
+                   ctx->clock().modeled(Phase::kAnalytics) +
+                   ctx->clock().modeled(Phase::kGlue);
   if (result.ok()) {
     cell.result = std::move(result).ValueOrDie();
     cell.status = genbase::Status::OK();
@@ -52,23 +61,6 @@ CellResult RunCell(Engine* engine, QueryId query, DatasetSize size,
     cell.infinite = cell.status.IsResourceFailure();
   }
   return cell;
-}
-
-void PrintGrid(const std::string& title, const std::string& x_label,
-               const std::vector<std::string>& x_values,
-               const std::vector<std::string>& engines,
-               const std::vector<std::vector<std::string>>& cells) {
-  std::printf("\n=== %s ===\n", title.c_str());
-  std::printf("%-28s", (x_label + " \\ system").c_str());
-  for (const auto& e : engines) std::printf(" %16s", e.c_str());
-  std::printf("\n");
-  for (size_t x = 0; x < x_values.size(); ++x) {
-    std::printf("%-28s", x_values[x].c_str());
-    for (size_t e = 0; e < engines.size(); ++e) {
-      std::printf(" %16s", cells[x][e].c_str());
-    }
-    std::printf("\n");
-  }
 }
 
 }  // namespace genbase::core

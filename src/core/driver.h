@@ -23,6 +23,7 @@ struct CellResult {
   double dm_s = 0.0;          ///< Data management (includes glue).
   double analytics_s = 0.0;
   double glue_s = 0.0;        ///< Copy/reformat between systems, broken out.
+  double modeled_s = 0.0;     ///< Virtual (simulated) share of total_s.
 
   QueryResult result;         ///< Valid when status.ok().
 
@@ -41,12 +42,14 @@ struct DriverOptions {
 CellResult RunCell(Engine* engine, QueryId query, DatasetSize size,
                    const DriverOptions& options);
 
-/// \brief Pretty-printing of grids in the shape of the paper's figures:
-/// one row per engine, one column per x-axis point.
-void PrintGrid(const std::string& title, const std::string& x_label,
-               const std::vector<std::string>& x_values,
-               const std::vector<std::string>& engines,
-               const std::vector<std::vector<std::string>>& cells);
+/// \brief The timed single-operation core behind RunCell, reusing a
+/// caller-owned ExecContext (reset on entry). Thread-safe with respect to
+/// the engine: many threads may call it concurrently on one loaded Engine as
+/// long as each passes its own context — engines only read loaded state
+/// during RunQuery and their memory trackers are atomic. This is the entry
+/// point the concurrent workload runner (src/workload) drives.
+CellResult RunCellWithContext(Engine* engine, QueryId query, DatasetSize size,
+                              const DriverOptions& options, ExecContext* ctx);
 
 }  // namespace genbase::core
 

@@ -1,0 +1,90 @@
+#include "workload/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genbase::workload {
+
+namespace {
+// 1us floor; ~5% geometric growth; enough buckets to pass 1000s.
+constexpr double kMinTracked = 1e-6;
+constexpr double kGrowth = 1.05;
+// ceil(log(1000 / 1e-6) / log(1.05)) == 426.
+constexpr int kNumBuckets = 427;
+const double kLogGrowth = std::log(kGrowth);
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(double seconds) const {
+  if (!(seconds > kMinTracked)) return 0;
+  const int b =
+      static_cast<int>(std::floor(std::log(seconds / kMinTracked) /
+                                  kLogGrowth)) +
+      1;
+  return std::min(b, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketValue(int bucket) const {
+  if (bucket == 0) return kMinTracked;
+  // Geometric midpoint of [min * g^(b-1), min * g^b).
+  return kMinTracked * std::pow(kGrowth, bucket - 0.5);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0 || !std::isfinite(seconds)) seconds = 0.0;
+  ++buckets_[BucketFor(seconds)];
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double LatencyHistogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double LatencyHistogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile observation (1-based, nearest-rank method).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p / 100.0 * count_)));
+  // The extreme ranks are tracked exactly; everything in between resolves
+  // to its bucket's representative value.
+  if (rank >= count_) return max_;
+  if (rank <= 1) return min_;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(BucketValue(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace genbase::workload

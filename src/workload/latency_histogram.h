@@ -1,0 +1,50 @@
+#ifndef GENBASE_WORKLOAD_LATENCY_HISTOGRAM_H_
+#define GENBASE_WORKLOAD_LATENCY_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace genbase::workload {
+
+/// \brief Log-bucketed latency histogram, HdrHistogram-style but sized for
+/// this benchmark: buckets grow geometrically by ~5% from 1 microsecond to
+/// beyond the per-op timeout, so any recorded latency is resolved to within
+/// one bucket width (<= 5% relative error) at O(1) record cost and a few KB
+/// of memory. Values outside the tracked range clamp to the edge buckets
+/// (exact min/max/sum are kept separately and stay exact).
+///
+/// Not internally synchronized: each workload client records into its own
+/// histogram and the runner merges them after the measured phase.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(double seconds);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;  ///< 0 when empty.
+  double max() const;  ///< 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Latency at percentile `p` in [0, 100]: the representative value
+  /// (geometric bucket midpoint) of the bucket containing the p-th
+  /// percentile observation. 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  int BucketFor(double seconds) const;
+  double BucketValue(int bucket) const;
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace genbase::workload
+
+#endif  // GENBASE_WORKLOAD_LATENCY_HISTOGRAM_H_

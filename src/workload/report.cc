@@ -1,0 +1,134 @@
+#include "workload/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace genbase::workload {
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+std::string FormatMillis(double seconds) {
+  const double ms = seconds * 1e3;
+  char buf[32];
+  if (ms < 10) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+  } else if (ms < 100) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fms", ms);
+  }
+  return buf;
+}
+
+std::string FormatQps(double qps) {
+  char buf[32];
+  if (qps < 10) {
+    std::snprintf(buf, sizeof(buf), "%.2f", qps);
+  } else if (qps < 100) {
+    std::snprintf(buf, sizeof(buf), "%.1f", qps);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", qps);
+  }
+  return buf;
+}
+
+void PrintGrid(const std::string& title, const std::string& x_label,
+               const std::vector<std::string>& x_values,
+               const std::vector<std::string>& engines,
+               const std::vector<std::vector<std::string>>& cells) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  // Column widths fit the widest cell (floor 16 keeps the classic figures'
+  // layout stable).
+  std::vector<int> widths(engines.size(), 16);
+  for (size_t e = 0; e < engines.size(); ++e) {
+    widths[e] = std::max(widths[e], static_cast<int>(engines[e].size()));
+    for (size_t x = 0; x < cells.size(); ++x) {
+      widths[e] = std::max(widths[e], static_cast<int>(cells[x][e].size()));
+    }
+  }
+  std::printf("%-28s", (x_label + " \\ system").c_str());
+  for (size_t e = 0; e < engines.size(); ++e) {
+    std::printf(" %*s", widths[e], engines[e].c_str());
+  }
+  std::printf("\n");
+  for (size_t x = 0; x < x_values.size(); ++x) {
+    std::printf("%-28s", x_values[x].c_str());
+    for (size_t e = 0; e < engines.size(); ++e) {
+      std::printf(" %*s", widths[e], cells[x][e].c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void OpStats::MergeFrom(const OpStats& other) {
+  ops += other.ops;
+  errors += other.errors;
+  infs += other.infs;
+  verify_failures += other.verify_failures;
+  latency.Merge(other.latency);
+  dm_s += other.dm_s;
+  analytics_s += other.analytics_s;
+  glue_s += other.glue_s;
+  modeled_s += other.modeled_s;
+}
+
+std::string WorkloadReport::Summary() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s %s x%d (%s): %s qps  p50=%s p95=%s p99=%s  "
+      "ops=%lld err=%lld inf=%lld badverify=%lld",
+      engine.c_str(), workload_name.c_str(), clients, ClientModelName(model),
+      FormatQps(achieved_qps()).c_str(),
+      FormatMillis(total.latency.Percentile(50)).c_str(),
+      FormatMillis(total.latency.Percentile(95)).c_str(),
+      FormatMillis(total.latency.Percentile(99)).c_str(),
+      static_cast<long long>(total.ops),
+      static_cast<long long>(total.errors),
+      static_cast<long long>(total.infs),
+      static_cast<long long>(total.verify_failures));
+  return buf;
+}
+
+std::string WorkloadReport::GridCell() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%sqps %s/%s/%s",
+                FormatQps(achieved_qps()).c_str(),
+                FormatMillis(total.latency.Percentile(50)).c_str(),
+                FormatMillis(total.latency.Percentile(95)).c_str(),
+                FormatMillis(total.latency.Percentile(99)).c_str());
+  return buf;
+}
+
+void WorkloadReport::Print() const {
+  std::printf("\n--- workload report: %s ---\n", Summary().c_str());
+  std::printf("  wall=%ss (modeled %ss)  mean=%s  p90=%s  p999=%s  max=%s\n",
+              FormatSeconds(wall_seconds).c_str(),
+              FormatSeconds(modeled_wall_seconds()).c_str(),
+              FormatMillis(total.latency.mean()).c_str(),
+              FormatMillis(total.latency.Percentile(90)).c_str(),
+              FormatMillis(total.latency.Percentile(99.9)).c_str(),
+              FormatMillis(total.latency.max()).c_str());
+  std::printf("  %-14s %7s %6s %5s %5s %9s %9s %9s  %9s %9s %9s\n", "query",
+              "ops", "err", "inf", "bad", "p50", "p95", "p99", "dm(s)",
+              "analyt(s)", "glue(s)");
+  for (const auto& [query, stats] : per_query) {
+    std::printf("  %-14s %7lld %6lld %5lld %5lld %9s %9s %9s  %9s %9s %9s\n",
+                core::QueryName(query), static_cast<long long>(stats.ops),
+                static_cast<long long>(stats.errors),
+                static_cast<long long>(stats.infs),
+                static_cast<long long>(stats.verify_failures),
+                FormatMillis(stats.latency.Percentile(50)).c_str(),
+                FormatMillis(stats.latency.Percentile(95)).c_str(),
+                FormatMillis(stats.latency.Percentile(99)).c_str(),
+                FormatSeconds(stats.dm_s).c_str(),
+                FormatSeconds(stats.analytics_s).c_str(),
+                FormatSeconds(stats.glue_s).c_str());
+  }
+}
+
+}  // namespace genbase::workload

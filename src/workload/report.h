@@ -1,0 +1,104 @@
+#ifndef GENBASE_WORKLOAD_REPORT_H_
+#define GENBASE_WORKLOAD_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/queries.h"
+#include "workload/latency_histogram.h"
+#include "workload/workload_spec.h"
+
+namespace genbase::workload {
+
+/// --- display helpers ---------------------------------------------------------
+/// Shared formatting used by the workload report, bench/bench_util and the
+/// figure binaries, so "seconds", "INF" and grid layout render identically
+/// everywhere.
+
+/// "%.3f" seconds (the figure-cell convention).
+std::string FormatSeconds(double s);
+
+/// Milliseconds with adaptive precision ("0.52ms", "12.3ms", "432ms").
+std::string FormatMillis(double seconds);
+
+/// Operations per second with adaptive precision ("8.21", "412").
+std::string FormatQps(double qps);
+
+/// \brief Paper-figure-shaped grid: one column per engine/system, one row
+/// per x-axis point. (Moved here from core/driver so every consumer of grid
+/// output — single-run figures and workload reports — shares one printer.)
+void PrintGrid(const std::string& title, const std::string& x_label,
+               const std::vector<std::string>& x_values,
+               const std::vector<std::string>& engines,
+               const std::vector<std::vector<std::string>>& cells);
+
+/// --- per-run report ----------------------------------------------------------
+
+/// \brief Aggregated statistics over one slice of a run (one query, or the
+/// whole run).
+struct OpStats {
+  int64_t ops = 0;              ///< Completed operations (any outcome).
+  int64_t errors = 0;           ///< Non-OK, non-INF failures.
+  int64_t infs = 0;             ///< Timeout / resource-exhaustion (paper INF).
+  int64_t verify_failures = 0;  ///< OK results that failed reference check.
+  /// Per-op total (measured + modeled) seconds, successful ops only:
+  /// errored ops finish in ~0s and INF ops are censored at the budget, so
+  /// either would distort the distribution. latency.count() == successes.
+  LatencyHistogram latency;
+  double dm_s = 0.0;            ///< Summed phase seconds over ops.
+  double analytics_s = 0.0;
+  double glue_s = 0.0;
+  double modeled_s = 0.0;       ///< Virtual (simulated) share of the sums.
+
+  void MergeFrom(const OpStats& other);
+};
+
+/// \brief Everything a finished workload run reports: achieved throughput,
+/// tail latency, error/INF/verification counts, and per-query breakdowns
+/// reusing the DM / analytics / glue phase clock.
+struct WorkloadReport {
+  std::string engine;
+  std::string workload_name;
+  ClientModel model = ClientModel::kClosedLoop;
+  int clients = 0;
+  uint64_t seed = 0;
+
+  double wall_seconds = 0.0;  ///< Measured-phase wall time (real clock).
+  OpStats total;
+  std::map<core::QueryId, OpStats> per_query;
+
+  /// Wall time of the *modeled* deployment: real wall plus each client's
+  /// share of virtual (simulated) seconds. Per-op latencies include virtual
+  /// time, so throughput must pay for it too or the two headline metrics
+  /// contradict each other for engines with modeled costs (e.g. the UDF
+  /// configs' per-invocation overhead). Virtual seconds are serial within a
+  /// client; dividing the aggregate by the client count models clients
+  /// incurring them concurrently.
+  double modeled_wall_seconds() const {
+    return wall_seconds + (clients > 0 ? total.modeled_s / clients : 0.0);
+  }
+
+  /// Successful operations per modeled wall second (goodput — failures
+  /// excluded, virtual time included).
+  double achieved_qps() const {
+    const int64_t successes = total.ops - total.errors - total.infs;
+    const double wall = modeled_wall_seconds();
+    return wall > 0 ? successes / wall : 0.0;
+  }
+  int64_t failed_ops() const { return total.errors + total.infs; }
+
+  /// One-line summary: "SciDB mixed x4: 118 qps p50=28ms p95=61ms p99=74ms".
+  std::string Summary() const;
+
+  /// Compact cell text for throughput/latency grids:
+  /// "118qps 28/61/74ms" (p50/p95/p99).
+  std::string GridCell() const;
+
+  /// Full human-readable report with the per-query breakdown table.
+  void Print() const;
+};
+
+}  // namespace genbase::workload
+
+#endif  // GENBASE_WORKLOAD_REPORT_H_

@@ -1,0 +1,154 @@
+#include "workload/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/driver.h"
+#include "core/reference.h"
+#include "core/verify.h"
+
+namespace genbase::workload {
+
+namespace {
+
+/// Per-client accumulation; merged into the report after each phase so the
+/// hot path takes no locks.
+struct ClientState {
+  ExecContext ctx;
+  OpStats total;
+  std::map<core::QueryId, OpStats> per_query;
+};
+
+void RecordOutcome(const core::CellResult& cell, const core::QueryResult* truth,
+                   ClientState* state) {
+  // Classify (and verify against ground truth) once; the loop below only
+  // bumps counters into the run-total and per-query aggregates.
+  const bool failed = !cell.infinite && (!cell.supported || !cell.status.ok());
+  const bool succeeded = !cell.infinite && !failed;
+  const bool mismatched =
+      succeeded && truth != nullptr &&
+      !core::CompareQueryResults(*truth, cell.result).ok();
+  OpStats& q = state->per_query[cell.query];
+  for (OpStats* stats : {&state->total, &q}) {
+    stats->ops += 1;
+    stats->dm_s += cell.dm_s;
+    stats->analytics_s += cell.analytics_s;
+    stats->glue_s += cell.glue_s;
+    stats->modeled_s += cell.modeled_s;
+    stats->infs += cell.infinite ? 1 : 0;
+    stats->errors += failed ? 1 : 0;
+    stats->verify_failures += mismatched ? 1 : 0;
+    if (succeeded) {
+      // Only successful operations enter the latency distribution: an
+      // unsupported/errored op completes in ~0s and an INF op's time is
+      // censored by the budget — recording either would drag p50 down or
+      // up artificially. Failures are visible in their own counters.
+      stats->latency.Record(cell.total_s);
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadRunner::WorkloadRunner(WorkloadSpec spec) : spec_(std::move(spec)) {}
+
+genbase::Result<WorkloadReport> WorkloadRunner::Run(
+    core::Engine* engine, const core::GenBaseData& data, bool already_loaded) {
+  GENBASE_RETURN_NOT_OK(spec_.Validate());
+  if (!already_loaded) {
+    GENBASE_RETURN_NOT_OK(engine->LoadDataset(data));
+  }
+
+  // Ground truth, once per distinct query in the mix (skipping queries the
+  // caller already provided via set_ground_truth).
+  std::map<core::QueryId, core::QueryResult>& truths = truths_;
+  if (spec_.verify) {
+    for (const QueryMixEntry& entry : spec_.NormalizedMix()) {
+      if (entry.weight <= 0 || truths.count(entry.query) != 0) continue;
+      auto truth =
+          core::RunReferenceQuery(entry.query, data, spec_.params);
+      if (!truth.ok()) return truth.status();
+      truths.emplace(entry.query, std::move(truth).ValueOrDie());
+    }
+  }
+
+  const std::vector<ScheduledOp> schedule = BuildSchedule(spec_);
+  const size_t warmup_end = static_cast<size_t>(spec_.warmup_ops);
+
+  core::DriverOptions options;
+  options.timeout_seconds = spec_.timeout_seconds;
+  options.params = spec_.params;
+
+  std::vector<ClientState> clients(spec_.clients);
+  ThreadPool pool(spec_.clients);
+
+  // One client loop over a [begin, end) slice of the schedule. Clients claim
+  // ops through `cursor`; open-loop clients additionally wait for each op's
+  // arrival offset (relative to `phase_start`) before issuing.
+  auto run_phase = [&](size_t begin, size_t end, bool record) {
+    std::atomic<size_t> cursor{begin};
+    const auto phase_start = std::chrono::steady_clock::now();
+    for (int c = 0; c < spec_.clients; ++c) {
+      ClientState* state = &clients[c];
+      pool.Submit([&, state] {
+        bool first_op = true;
+        for (;;) {
+          const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= end) return;
+          // Closed-loop think time separates a completion from the *next*
+          // issue, so it is paid after claiming more work — never as a
+          // trailing sleep that would pad the measured wall time.
+          if (!first_op && spec_.model == ClientModel::kClosedLoop &&
+              spec_.think_time_s > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(spec_.think_time_s));
+          }
+          first_op = false;
+          const ScheduledOp& op = schedule[i];
+          if (op.arrival_offset_s > 0) {
+            std::this_thread::sleep_until(
+                phase_start + std::chrono::duration_cast<
+                                  std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double>(
+                                      op.arrival_offset_s)));
+          }
+          const core::CellResult cell = core::RunCellWithContext(
+              engine, op.query, spec_.size, options, &state->ctx);
+          if (record) {
+            auto it = truths.find(op.query);
+            RecordOutcome(cell, it == truths.end() ? nullptr : &it->second,
+                          state);
+          }
+        }
+      });
+    }
+    pool.Wait();
+  };
+
+  if (warmup_end > 0) run_phase(0, warmup_end, /*record=*/false);
+
+  WallTimer wall;
+  run_phase(warmup_end, schedule.size(), /*record=*/true);
+  const double wall_seconds = wall.Seconds();
+
+  WorkloadReport report;
+  report.engine = engine->name();
+  report.workload_name = spec_.name;
+  report.model = spec_.model;
+  report.clients = spec_.clients;
+  report.seed = spec_.seed;
+  report.wall_seconds = wall_seconds;
+  for (const ClientState& state : clients) {
+    report.total.MergeFrom(state.total);
+    for (const auto& [query, stats] : state.per_query) {
+      report.per_query[query].MergeFrom(stats);
+    }
+  }
+  return report;
+}
+
+}  // namespace genbase::workload

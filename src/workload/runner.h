@@ -1,0 +1,64 @@
+#ifndef GENBASE_WORKLOAD_RUNNER_H_
+#define GENBASE_WORKLOAD_RUNNER_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "core/datasets.h"
+#include "core/engine.h"
+#include "workload/report.h"
+#include "workload/workload_spec.h"
+
+namespace genbase::workload {
+
+/// \brief Drives a concurrent mixed-query workload against one engine.
+///
+/// The runner loads the dataset into the engine once, expands the spec into
+/// its deterministic operation schedule (see BuildSchedule), then fans
+/// `spec.clients` client threads out over a dedicated common/thread_pool.
+/// Clients claim operations from the shared schedule through an atomic
+/// cursor and execute them through core::RunCellWithContext — the same
+/// timed, timeout/INF-enforcing path the single-cell figures use — each with
+/// its own reusable ExecContext. Engines are driven as one shared session:
+/// they only read loaded state during RunQuery and their trackers are
+/// atomic, so a single loaded engine serves all clients, exactly like a
+/// database server under concurrent sessions.
+///
+/// Determinism: operation count and query mix of a run are a pure function
+/// of the spec (schedule is pre-built; every scheduled op executes exactly
+/// once). Latencies and throughput are measured and vary run to run.
+///
+/// When `spec.verify` is set, the ground truth for every query in the mix is
+/// computed once through core/reference and every completed operation's
+/// result is compared against it (core/verify tolerances); mismatches are
+/// tallied as verify_failures.
+class WorkloadRunner {
+ public:
+  explicit WorkloadRunner(WorkloadSpec spec);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+  /// Installs precomputed ground truth, keyed by query. Truth depends only
+  /// on (query, data, params), so callers sweeping one dataset across many
+  /// engines/client counts (bench/fig6) compute it once and share it;
+  /// without this, Run recomputes the reference for every invocation.
+  void set_ground_truth(std::map<core::QueryId, core::QueryResult> truths) {
+    truths_ = std::move(truths);
+  }
+
+  /// Loads `data` into `engine` (unless `already_loaded`), runs the warm-up
+  /// and measured phases, and returns the aggregated report. Returns a
+  /// non-OK status only for spec/load/reference failures; per-operation
+  /// failures are reported in the WorkloadReport counters.
+  genbase::Result<WorkloadReport> Run(core::Engine* engine,
+                                      const core::GenBaseData& data,
+                                      bool already_loaded = false);
+
+ private:
+  WorkloadSpec spec_;
+  std::map<core::QueryId, core::QueryResult> truths_;
+};
+
+}  // namespace genbase::workload
+
+#endif  // GENBASE_WORKLOAD_RUNNER_H_
