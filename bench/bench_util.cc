@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "core/config.h"
 #include "core/generator.h"
+#include "engine/engines.h"
 #include "workload/report.h"
 
 namespace genbase::bench {
@@ -126,6 +127,76 @@ std::string CellDisplay(const std::string& engine, core::QueryId query,
 }
 
 std::string FormatSeconds(double s) { return workload::FormatSeconds(s); }
+
+const std::vector<ServingEngineSpec>& ServingEngines() {
+  static const auto* engines = new std::vector<ServingEngineSpec>{
+      {"scidb", "SciDB", engine::CreateSciDb},
+      {"col_udf", "Column store + UDFs", engine::CreateColumnStoreUdf},
+      {"col_r", "Column store + R", engine::CreateColumnStoreR},
+  };
+  return *engines;
+}
+
+std::string ExtractJsonPath(int* argc, char** argv) {
+  std::string path;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      continue;
+    }
+    if (arg == "--json" && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;  // Keep the argv null-termination guarantee.
+  return path;
+}
+
+genbase::Status WriteJsonReports(
+    const std::string& path, const std::string& figure,
+    const std::vector<workload::WorkloadReport>& reports) {
+  if (path.empty()) return genbase::Status::OK();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return genbase::Status::IOError("cannot open json report file: " + path);
+  }
+  const auto& c = core::SimConfig::Get();
+  std::fprintf(f,
+               "{\"figure\":\"%s\",\"config\":{\"scale\":%.17g,"
+               "\"timeout_seconds\":%.17g},\"reports\":[",
+               figure.c_str(), c.scale, c.timeout_seconds);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    std::fprintf(f, "%s%s", i == 0 ? "" : ",", reports[i].ToJson().c_str());
+  }
+  std::fprintf(f, "]}\n");
+  // A truncated artifact that CI happily uploads is worse than a failed
+  // step: surface short writes (disk full, I/O error) as a failure.
+  const bool write_error = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || write_error) {
+    return genbase::Status::IOError("short write to json report file: " +
+                                    path);
+  }
+  std::printf("# json report written to %s (%zu runs)\n", path.c_str(),
+              reports.size());
+  return genbase::Status::OK();
+}
+
+int FigureExitCode(const std::string& json_path, const std::string& figure,
+                   const std::vector<workload::WorkloadReport>& reports,
+                   int64_t verification_failures) {
+  const genbase::Status json =
+      WriteJsonReports(json_path, figure, reports);
+  if (!json.ok()) {
+    std::fprintf(stderr, "%s\n", json.ToString().c_str());
+    return 1;
+  }
+  return verification_failures == 0 ? 0 : 1;
+}
 
 void PrintBanner(const char* figure) {
   const auto& c = core::SimConfig::Get();

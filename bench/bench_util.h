@@ -10,6 +10,7 @@
 #include "core/datasets.h"
 #include "core/driver.h"
 #include "core/engine.h"
+#include "workload/report.h"
 
 namespace genbase::bench {
 
@@ -48,6 +49,39 @@ const core::CellResult* FindCell(const std::string& engine,
 
 /// Prints the workload banner (scale, dims, timeout, model constants).
 void PrintBanner(const char* figure);
+
+/// One serving-scenario engine configuration. The lineup (ServingEngines)
+/// is the subset of the paper's single-node configs that implement all five
+/// queries natively: the serving scenario assumes full functionality, and a
+/// mixed stream against Postgres/Hadoop configs would report errors, not
+/// latency. Shared by fig6 and fig7 so the two figures cannot drift apart.
+struct ServingEngineSpec {
+  const char* key;
+  const char* display;
+  std::unique_ptr<core::Engine> (*factory)();
+};
+const std::vector<ServingEngineSpec>& ServingEngines();
+
+/// Strips a `--json=PATH` (or `--json PATH`) flag out of argv — call before
+/// benchmark::Initialize, which rejects flags it does not know — and returns
+/// the path ("" when the flag is absent).
+std::string ExtractJsonPath(int* argc, char** argv);
+
+/// Dumps workload reports as one machine-readable JSON document
+/// (`{"figure":…,"config":{scale,timeout},"reports":[…]}`), so perf
+/// trajectory can be captured into BENCH_*.json artifacts. No-op ("" path)
+/// when the caller ran without --json.
+genbase::Status WriteJsonReports(
+    const std::string& path, const std::string& figure,
+    const std::vector<workload::WorkloadReport>& reports);
+
+/// Shared workload-figure epilogue: dumps `reports` via WriteJsonReports
+/// and converts (verification failures, dump status) into the process exit
+/// code — nonzero on any failure, so CI smoke steps gate on end-to-end
+/// correctness. One definition keeps fig6/fig7 exit policy in lockstep.
+int FigureExitCode(const std::string& json_path, const std::string& figure,
+                   const std::vector<workload::WorkloadReport>& reports,
+                   int64_t verification_failures);
 
 /// Formats seconds with the paper's INF convention.
 std::string FormatSeconds(double s);

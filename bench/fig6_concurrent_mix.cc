@@ -29,21 +29,6 @@
 namespace genbase::bench {
 namespace {
 
-struct EngineSpec {
-  const char* key;
-  const char* display;
-  std::unique_ptr<core::Engine> (*factory)();
-};
-
-// Engines that implement all five queries natively (the serving scenario
-// assumes full functionality; Postgres/Hadoop configs lack queries and a
-// mixed stream against them reports errors, not latency).
-const EngineSpec kEngines[] = {
-    {"scidb", "SciDB", engine::CreateSciDb},
-    {"col_udf", "Column store + UDFs", engine::CreateColumnStoreUdf},
-    {"col_r", "Column store + R", engine::CreateColumnStoreR},
-};
-
 constexpr int kClientCounts[] = {4, 8};
 
 workload::WorkloadSpec MixSpec(int clients) {
@@ -93,7 +78,7 @@ const std::map<core::QueryId, core::QueryResult>& SharedTruths() {
 }
 
 void RegisterRuns() {
-  for (const auto& spec : kEngines) {
+  for (const auto& spec : ServingEngines()) {
     for (int clients : kClientCounts) {
       const std::string name = std::string("fig6/") + spec.key + "/clients:" +
                                std::to_string(clients);
@@ -124,14 +109,14 @@ void RegisterRuns() {
 
 int64_t PrintFigure() {
   std::vector<std::string> engines;
-  for (const auto& spec : kEngines) engines.push_back(spec.display);
+  for (const auto& spec : ServingEngines()) engines.push_back(spec.display);
 
   std::vector<std::string> x_values;
   std::vector<std::vector<std::string>> cells;
   for (int clients : kClientCounts) {
     x_values.push_back(std::to_string(clients) + " clients");
     std::vector<std::string> row;
-    for (const auto& spec : kEngines) {
+    for (const auto& spec : ServingEngines()) {
       auto it = Reports().find({spec.key, clients});
       row.push_back(it == Reports().end() ? "?" : it->second.GridCell());
     }
@@ -159,10 +144,14 @@ int64_t PrintFigure() {
 int main(int argc, char** argv) {
   genbase::bench::PrintBanner(
       "Figure 6: concurrent mixed workload (serving view)");
+  const std::string json_path = genbase::bench::ExtractJsonPath(&argc, argv);
   genbase::bench::RegisterRuns();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  // Nonzero exit on any operation error or reference mismatch, so CI's
-  // smoke-run step actually gates on end-to-end result correctness.
-  return genbase::bench::PrintFigure() == 0 ? 0 : 1;
+  const int64_t failures = genbase::bench::PrintFigure();
+  std::vector<genbase::workload::WorkloadReport> reports;
+  for (const auto& [key, report] : genbase::bench::Reports()) {
+    reports.push_back(report);
+  }
+  return genbase::bench::FigureExitCode(json_path, "fig6", reports, failures);
 }

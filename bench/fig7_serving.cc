@@ -1,0 +1,327 @@
+// Figure 7 (beyond the paper): the serving stack — result cache, admission
+// control, shard routing — in front of the paper's engines. Three sweeps per
+// engine over the small dataset:
+//
+//   (a) cache hit-ratio x shard count, closed loop: param_variants controls
+//       the number of distinct (query, params) keys in the mix, so fewer
+//       variants mean a hotter cache; shards {1,2,4} scale the engine tier.
+//   (b) offered load vs goodput, open loop: Poisson arrivals at multiples of
+//       the engine's measured closed-loop capacity, with a bounded admission
+//       queue and deadline-based shedding — goodput, shed counts and the
+//       (coordinated-omission-corrected) served-op tail are reported
+//       separately, so overload behavior is honest.
+//
+// Deterministic by construction: schedules (count, mix, variants) are pure
+// functions of the spec seed, and every served operation's result — cache
+// hit or engine execution — is verified against core/reference ground
+// truth. The exit code gates on zero errors/mismatches; shed ops are load
+// shedding, not failures.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "core/config.h"
+#include "core/reference.h"
+#include "engine/engines.h"
+#include "serving/serving_stack.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+namespace genbase::bench {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 4};
+constexpr int kVariantCounts[] = {1, 4, 16};
+constexpr double kLoadMultipliers[] = {0.6, 2.0, 4.0};
+
+workload::WorkloadSpec BaseSpec(int param_variants) {
+  workload::WorkloadSpec spec;
+  spec.name = "serving-mix";
+  spec.mix = {
+      {core::QueryId::kRegression, 30},
+      {core::QueryId::kCovariance, 20},
+      {core::QueryId::kBiclustering, 5},
+      {core::QueryId::kSvd, 15},
+      {core::QueryId::kStatistics, 30},
+  };
+  spec.size = core::DatasetSize::kSmall;
+  spec.model = workload::ClientModel::kClosedLoop;
+  spec.clients = 8;
+  spec.warmup_ops = 5;
+  spec.measured_ops = 40;
+  spec.param_variants = param_variants;
+  spec.timeout_seconds = core::SimConfig::Get().timeout_seconds;
+  spec.seed = 42;
+  spec.verify = true;
+  return spec;
+}
+
+std::map<std::string, workload::WorkloadReport>& Reports() {
+  static auto* reports = new std::map<std::string, workload::WorkloadReport>();
+  return *reports;
+}
+
+std::string RunKey(const char* engine, int shards, int variants,
+                   double load_mult) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s/s%d/v%d/x%.1f", engine, shards,
+                variants, load_mult);
+  return buf;
+}
+
+// Ground truth depends only on (query, variant params, data) — compute the
+// union over every schedule this figure runs once, share across all cells.
+// All specs reuse one (name, seed, op budget), so the (query, variant)
+// sequence is identical across sweeps and the union stays small.
+const std::map<workload::WorkloadRunner::TruthKey, core::QueryResult>&
+SharedTruths() {
+  static const auto* truths = [] {
+    auto* map =
+        new std::map<workload::WorkloadRunner::TruthKey, core::QueryResult>();
+    const core::GenBaseData& data = CachedData(core::DatasetSize::kSmall);
+    std::set<workload::WorkloadRunner::TruthKey> pairs;
+    for (int variants : kVariantCounts) {
+      const workload::WorkloadSpec spec = BaseSpec(variants);
+      const auto schedule = workload::BuildSchedule(spec);
+      for (size_t i = static_cast<size_t>(spec.warmup_ops);
+           i < schedule.size(); ++i) {
+        pairs.insert({schedule[i].query, schedule[i].variant});
+      }
+    }
+    for (const auto& [query, variant] : pairs) {
+      auto truth = core::RunReferenceQuery(
+          query, data,
+          workload::VariantParams(BaseSpec(1).params, variant));
+      GENBASE_CHECK(truth.ok());
+      map->emplace(std::make_pair(query, variant),
+                   std::move(truth).ValueOrDie());
+    }
+    return map;
+  }();
+  return *truths;
+}
+
+genbase::Result<workload::WorkloadReport> RunOnce(
+    const ServingEngineSpec& engine, const workload::WorkloadSpec& spec,
+    const serving::ServingOptions& serving_options) {
+  auto stack = serving::ServingStack::Create(
+      serving_options, engine.factory,
+      CachedData(core::DatasetSize::kSmall));
+  GENBASE_RETURN_NOT_OK(stack.status());
+  workload::WorkloadRunner runner(spec);
+  runner.set_ground_truth_variants(SharedTruths());
+  return runner.Run(stack.ValueOrDie().get(),
+                    CachedData(core::DatasetSize::kSmall));
+}
+
+void RegisterCacheShardSweep() {
+  for (const auto& engine : ServingEngines()) {
+    for (int variants : kVariantCounts) {
+      for (int shards : kShardCounts) {
+        const std::string name = std::string("fig7a/") + engine.key +
+                                 "/variants:" + std::to_string(variants) +
+                                 "/shards:" + std::to_string(shards);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [engine, variants, shards](benchmark::State& state) {
+              for (auto _ : state) {
+                serving::ServingOptions options;
+                options.shards = shards;
+                options.cache_enabled = true;
+                auto report = RunOnce(engine, BaseSpec(variants), options);
+                if (!report.ok()) {
+                  state.SkipWithError(report.status().ToString().c_str());
+                  return;
+                }
+                state.counters["qps"] = report->achieved_qps();
+                state.counters["hit_pct"] =
+                    report->serving.cache.hit_ratio() * 100;
+                Reports()[RunKey(engine.key, shards, variants, 0)] =
+                    std::move(report).ValueOrDie();
+              }
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+void RegisterOverloadSweep() {
+  for (const auto& engine : ServingEngines()) {
+    for (double mult : kLoadMultipliers) {
+      const std::string name = std::string("fig7b/") + engine.key +
+                               "/load:" + std::to_string(mult);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [engine, mult](benchmark::State& state) {
+            for (auto _ : state) {
+              // Capacity reference: the closed-loop 2-shard/4-variant cell
+              // from sweep (a), which benchmark ordering guarantees already
+              // ran. Offered load is a multiple of what this engine can
+              // actually serve, so "2x" means the same stress for SciDB as
+              // for the R config.
+              auto it = Reports().find(RunKey(engine.key, 2, 4, 0));
+              const bool have_reference =
+                  it != Reports().end() && it->second.achieved_qps() > 0;
+              if (!have_reference) {
+                // Reachable when fig7a was filtered out or its cell failed:
+                // the "Nx capacity" labels then reflect this placeholder,
+                // not the engine's measured capacity — say so loudly.
+                std::printf(
+                    "# warning: fig7a reference cell %s missing; fig7b/%s "
+                    "offered load uses fallback capacity 20 qps, not "
+                    "measured capacity\n",
+                    RunKey(engine.key, 2, 4, 0).c_str(), engine.key);
+              }
+              // Real-clock capacity: arrivals are real-time, so the offered
+              // rate must be a multiple of what the server absorbs on the
+              // same clock (modeled virtual seconds never occupy a slot).
+              const double capacity =
+                  have_reference ? it->second.real_goodput_qps() : 20.0;
+              const double mean_service =
+                  have_reference ? it->second.total.latency.mean() : 0.05;
+
+              workload::WorkloadSpec spec = BaseSpec(4);
+              spec.model = workload::ClientModel::kOpenLoopPoisson;
+              spec.arrival_rate_qps = capacity * mult;
+              spec.clients = 12;
+
+              serving::ServingOptions options;
+              options.shards = 2;
+              options.cache_enabled = true;
+              options.admission.max_inflight = 2;
+              options.admission.max_queue = 4;
+              // Start budget ~2x the engine's closed-loop mean latency:
+              // above the queueing an underloaded Poisson stream produces,
+              // well below the runaway backlog of sustained overload — so
+              // deadline shedding engages at 2-4x for every engine instead
+              // of hiding behind a fixed floor that dwarfs fast services.
+              options.admission.max_queue_delay_s =
+                  std::clamp(2 * mean_service, 0.001, 5.0);
+              auto report = RunOnce(engine, spec, options);
+              if (!report.ok()) {
+                state.SkipWithError(report.status().ToString().c_str());
+                return;
+              }
+              state.counters["goodput"] = report->real_goodput_qps();
+              state.counters["shed"] =
+                  static_cast<double>(report->total.shed());
+              state.counters["p99_ms"] =
+                  report->total.latency.Percentile(99) * 1e3;
+              Reports()[RunKey(engine.key, 2, 4, mult)] =
+                  std::move(report).ValueOrDie();
+            }
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+std::string CacheCell(const workload::WorkloadReport& r) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%sqps %s hit=%.0f%%",
+                workload::FormatQps(r.achieved_qps()).c_str(),
+                workload::FormatMillis(r.total.latency.Percentile(99)).c_str(),
+                r.serving.cache.hit_ratio() * 100);
+  return buf;
+}
+
+std::string OverloadCell(const workload::WorkloadReport& r) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s/%sqps shed=%lld p99=%s",
+                workload::FormatQps(r.real_goodput_qps()).c_str(),
+                workload::FormatQps(r.offered_qps).c_str(),
+                static_cast<long long>(r.total.shed()),
+                workload::FormatMillis(r.total.latency.Percentile(99)).c_str());
+  return buf;
+}
+
+int64_t PrintFigure() {
+  std::vector<std::string> engines;
+  for (const auto& engine : ServingEngines()) engines.push_back(engine.display);
+
+  for (int variants : kVariantCounts) {
+    std::vector<std::string> x_values;
+    std::vector<std::vector<std::string>> cells;
+    for (int shards : kShardCounts) {
+      x_values.push_back(std::to_string(shards) +
+                         (shards == 1 ? " shard" : " shards"));
+      std::vector<std::string> row;
+      for (const auto& engine : ServingEngines()) {
+        auto it = Reports().find(RunKey(engine.key, shards, variants, 0));
+        row.push_back(it == Reports().end() ? "?" : CacheCell(it->second));
+      }
+      cells.push_back(std::move(row));
+    }
+    char title[160];
+    std::snprintf(title, sizeof(title),
+                  "Figure 7a: result cache + shard scaling, %d param "
+                  "variant%s (goodput, served p99, hit ratio)",
+                  variants, variants == 1 ? "" : "s");
+    workload::PrintGrid(title, "shards", x_values, engines, cells);
+  }
+
+  {
+    std::vector<std::string> x_values;
+    std::vector<std::vector<std::string>> cells;
+    for (double mult : kLoadMultipliers) {
+      char label[48];
+      std::snprintf(label, sizeof(label), "offered %.1fx capacity", mult);
+      x_values.push_back(label);
+      std::vector<std::string> row;
+      for (const auto& engine : ServingEngines()) {
+        auto it = Reports().find(RunKey(engine.key, 2, 4, mult));
+        row.push_back(it == Reports().end() ? "?" : OverloadCell(it->second));
+      }
+      cells.push_back(std::move(row));
+    }
+    workload::PrintGrid(
+        "Figure 7b: open-loop overload, 2 shards + admission control "
+        "(goodput/offered, shed ops, served p99)",
+        "offered load", x_values, engines, cells);
+  }
+
+  for (const auto& [key, report] : Reports()) report.Print();
+
+  int64_t failures = 0;
+  for (const auto& [key, report] : Reports()) {
+    failures += report.total.errors + report.total.verify_failures;
+  }
+  std::printf(
+      "\n# verification: %lld operation errors/mismatches across %zu runs "
+      "(every served op checked against core/reference; shed ops are "
+      "load shedding, not failures)\n",
+      static_cast<long long>(failures), Reports().size());
+  return failures;
+}
+
+}  // namespace
+}  // namespace genbase::bench
+
+int main(int argc, char** argv) {
+  genbase::bench::PrintBanner(
+      "Figure 7: serving stack — cache, admission control, shards");
+  const std::string json_path = genbase::bench::ExtractJsonPath(&argc, argv);
+  genbase::bench::RegisterCacheShardSweep();
+  genbase::bench::RegisterOverloadSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  const int64_t failures = genbase::bench::PrintFigure();
+  std::vector<genbase::workload::WorkloadReport> reports;
+  for (const auto& [key, report] : genbase::bench::Reports()) {
+    reports.push_back(report);
+  }
+  return genbase::bench::FigureExitCode(json_path, "fig7", reports, failures);
+}

@@ -1,0 +1,92 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace genbase::serving {
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kShedQueueFull:
+      return "shed/queue-full";
+    case AdmissionOutcome::kShedTimeout:
+      return "shed/timeout";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+AdmissionOutcome AdmissionController::Admit(
+    std::optional<std::chrono::steady_clock::time_point> start_deadline,
+    double* waited_s) {
+  if (waited_s != nullptr) *waited_s = 0.0;
+  if (!enabled()) return AdmissionOutcome::kAdmitted;
+
+  const auto expired = [&start_deadline] {
+    return start_deadline.has_value() &&
+           std::chrono::steady_clock::now() >= *start_deadline;
+  };
+
+  WallTimer timer;
+  std::unique_lock<std::mutex> lock(mu_);
+  // A stale arrival is shed outright — free slot or not. The deadline
+  // models the instant the op's client gave up; executing past it would be
+  // wasted work counted as goodput.
+  if (expired()) {
+    ++counters_.shed_timeout;
+    return AdmissionOutcome::kShedTimeout;
+  }
+  if (inflight_ >= options_.max_inflight) {
+    if (waiting_ >= options_.max_queue) {
+      ++counters_.shed_queue_full;
+      return AdmissionOutcome::kShedQueueFull;
+    }
+    ++waiting_;
+    counters_.peak_queue = std::max<int64_t>(counters_.peak_queue, waiting_);
+    while (inflight_ >= options_.max_inflight && !expired()) {
+      if (start_deadline.has_value()) {
+        slot_free_.wait_until(lock, *start_deadline);
+      } else {
+        slot_free_.wait(lock);
+      }
+    }
+    --waiting_;
+    if (waited_s != nullptr) *waited_s = timer.Seconds();
+    // Shed if the start deadline passed in queue — even when a slot freed
+    // in the same instant, the client is already gone.
+    if (inflight_ >= options_.max_inflight || expired()) {
+      ++counters_.shed_timeout;
+      // If this waiter consumed a Release() wakeup and then shed on its own
+      // deadline, the slot is still free — pass the wakeup along so another
+      // waiter is not left sleeping next to idle capacity.
+      const bool slot_free = inflight_ < options_.max_inflight;
+      lock.unlock();
+      if (slot_free) slot_free_.notify_one();
+      return AdmissionOutcome::kShedTimeout;
+    }
+  }
+  ++inflight_;
+  ++counters_.admitted;
+  return AdmissionOutcome::kAdmitted;
+}
+
+void AdmissionController::Release() {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  slot_free_.notify_one();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace genbase::serving

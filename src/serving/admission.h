@@ -1,0 +1,76 @@
+#ifndef GENBASE_SERVING_ADMISSION_H_
+#define GENBASE_SERVING_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "serving/counters.h"
+
+namespace genbase::serving {
+
+/// \brief Bounded-queue admission policy. Defaults leave admission disabled
+/// (everything admitted instantly), so a stack can be configured as a pure
+/// cache/router.
+struct AdmissionOptions {
+  /// Operations allowed to execute concurrently. <= 0 disables admission
+  /// control entirely.
+  int max_inflight = 0;
+  /// Operations allowed to wait for an execution slot. An arrival finding
+  /// the queue full is shed immediately (load shedding, not queueing).
+  int max_queue = 0;
+  /// Deadline-based shedding: an operation that cannot *start* executing
+  /// within this many seconds of its scheduled arrival is shed, because by
+  /// then its client has given up. <= 0 means wait indefinitely.
+  double max_queue_delay_s = 0.0;
+};
+
+enum class AdmissionOutcome {
+  kAdmitted,
+  kShedQueueFull,  ///< Rejected on arrival: queue at capacity.
+  kShedTimeout,    ///< Gave up waiting: start deadline passed in queue.
+};
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
+/// \brief Bounded admission queue in front of the shard engines: at most
+/// `max_inflight` operations execute at once, at most `max_queue` wait, and
+/// waiters give up at their start deadline. Shedding on arrival (queue full)
+/// and in queue (deadline) are counted separately so a report can say *why*
+/// goodput fell short of offered load.
+///
+/// Mutex + condvar rather than atomics: admissions happen at operation
+/// granularity (milliseconds+), never in a hot loop.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Blocks until an execution slot is granted, the queue rejects the
+  /// arrival, or `start_deadline` passes. `waited_s` (optional) receives the
+  /// time spent queued. Callers must Release() after kAdmitted only.
+  AdmissionOutcome Admit(
+      std::optional<std::chrono::steady_clock::time_point> start_deadline,
+      double* waited_s = nullptr);
+
+  /// Returns an execution slot and wakes one waiter.
+  void Release();
+
+  bool enabled() const { return options_.max_inflight > 0; }
+  const AdmissionOptions& options() const { return options_; }
+  AdmissionStats stats() const;
+
+ private:
+  const AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  int inflight_ = 0;
+  int waiting_ = 0;
+  AdmissionStats counters_;
+};
+
+}  // namespace genbase::serving
+
+#endif  // GENBASE_SERVING_ADMISSION_H_

@@ -1,0 +1,65 @@
+#ifndef GENBASE_SERVING_COUNTERS_H_
+#define GENBASE_SERVING_COUNTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace genbase::serving {
+
+/// Plain counter snapshots of the three serving layers. Kept in this light
+/// header (no engine/cluster/cache machinery) so WorkloadReport can embed
+/// them without the workload layer depending on the full serving stack.
+
+/// \brief Result-cache counters. hits/misses/insertions/evictions are
+/// cumulative; entries/bytes are current gauges.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;
+  int64_t bytes = 0;
+
+  double hit_ratio() const {
+    const int64_t probes = hits + misses;
+    return probes == 0 ? 0.0 : static_cast<double>(hits) / probes;
+  }
+};
+
+/// \brief Admission counters. peak_queue is a high-water gauge.
+struct AdmissionStats {
+  int64_t admitted = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_timeout = 0;
+  int64_t peak_queue = 0;
+
+  int64_t shed() const { return shed_queue_full + shed_timeout; }
+};
+
+/// \brief Per-shard serving statistics, merged into the stack's counters
+/// (and, through WorkloadReport, into figure/JSON output).
+struct ShardStats {
+  int64_t ops = 0;
+  int64_t errors = 0;
+  int64_t infs = 0;
+  double busy_s = 0.0;  ///< Summed per-op total (measured + modeled) seconds.
+};
+
+/// \brief Merged counter snapshot of all three layers, embedded in
+/// WorkloadReport for figure and JSON output.
+struct ServingCounters {
+  CacheStats cache;
+  AdmissionStats admission;
+  std::vector<ShardStats> shards;
+};
+
+/// Counter delta `now - since` (cumulative counters subtract; gauges —
+/// cache entries/bytes, admission peak_queue — keep their `now` value). The
+/// workload runner uses this so a report covers the measured phase only,
+/// not warm-up.
+ServingCounters CountersDelta(const ServingCounters& now,
+                              const ServingCounters& since);
+
+}  // namespace genbase::serving
+
+#endif  // GENBASE_SERVING_COUNTERS_H_

@@ -1,0 +1,123 @@
+#include "serving/result_cache.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace genbase::serving {
+
+namespace {
+
+/// FNV-1a style accumulation through SplitMix64 so nearby values (quantile
+/// 0.90 vs 0.95) land far apart.
+uint64_t MixInto(uint64_t h, uint64_t v) {
+  return SplitMix64(h ^ (v + 0x9e3779b97f4a7c15ULL));
+}
+
+uint64_t MixDouble(uint64_t h, double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+  std::memcpy(&bits, &d, sizeof(bits));
+  return MixInto(h, bits);
+}
+
+}  // namespace
+
+uint64_t FingerprintParams(const core::QueryParams& params) {
+  uint64_t h = SeedFromTag("serving/params");
+  h = MixInto(h, static_cast<uint64_t>(params.function_threshold));
+  h = MixInto(h, static_cast<uint64_t>(params.disease_id));
+  h = MixDouble(h, params.covariance_quantile);
+  h = MixInto(h, static_cast<uint64_t>(params.max_age));
+  h = MixInto(h, static_cast<uint64_t>(params.gender));
+  h = MixDouble(h, params.bicluster_delta_fraction);
+  h = MixInto(h, static_cast<uint64_t>(params.bicluster_count));
+  h = MixInto(h, static_cast<uint64_t>(params.svd_rank));
+  h = MixDouble(h, params.sample_fraction);
+  h = MixDouble(h, params.significance);
+  return h;
+}
+
+size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  uint64_t h = MixInto(k.params_fingerprint,
+                       static_cast<uint64_t>(k.query) * 131 +
+                           static_cast<uint64_t>(k.size));
+  return static_cast<size_t>(h);
+}
+
+int64_t ApproxResultBytes(const core::QueryResult& result) {
+  int64_t bytes = static_cast<int64_t>(sizeof(core::QueryResult));
+  bytes += static_cast<int64_t>(result.regression.coef_head.capacity() *
+                                sizeof(double));
+  bytes += static_cast<int64_t>(result.svd.singular_values.capacity() *
+                                sizeof(double));
+  bytes += static_cast<int64_t>(
+      result.bicluster.biclusters.capacity() *
+      sizeof(core::BiclusterSummary::Entry));
+  return bytes;
+}
+
+ResultCache::ResultCache(int64_t max_entries, int64_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+bool ResultCache::Lookup(const CacheKey& key, core::QueryResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (out != nullptr) *out = it->second->value;
+  ++counters_.hits;
+  return true;
+}
+
+void ResultCache::Insert(const CacheKey& key, const core::QueryResult& value) {
+  const int64_t bytes = ApproxResultBytes(value);
+  if (bytes > max_bytes_ || max_entries_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place (identical keys imply identical results, but a
+    // re-insert after Clear-free races is harmless).
+    bytes_ += bytes - it->second->bytes;
+    it->second->value = value;
+    it->second->bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, value, bytes});
+    index_[key] = lru_.begin();
+    bytes_ += bytes;
+    ++counters_.insertions;
+  }
+  EvictWhileOverLocked();
+}
+
+void ResultCache::EvictWhileOverLocked() {
+  while (!lru_.empty() && (static_cast<int64_t>(lru_.size()) > max_entries_ ||
+                           bytes_ > max_bytes_)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = counters_;
+  s.entries = static_cast<int64_t>(lru_.size());
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace genbase::serving

@@ -1,0 +1,87 @@
+#ifndef GENBASE_SERVING_RESULT_CACHE_H_
+#define GENBASE_SERVING_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/datasets.h"
+#include "core/queries.h"
+#include "serving/counters.h"
+
+namespace genbase::serving {
+
+/// \brief Order-insensitive 64-bit fingerprint of a full QueryParams value.
+/// Two parameter sets collide only if every field is bit-identical (modulo
+/// hash collisions); the serving cache uses it so "same query, same knobs"
+/// is decided without storing the parameter struct per entry.
+uint64_t FingerprintParams(const core::QueryParams& params);
+
+/// \brief Identity of a cacheable operation: what was asked (query), with
+/// which knobs (params fingerprint), of which dataset (size). Engines are
+/// deterministic given these three, so equal keys imply equal results.
+struct CacheKey {
+  core::QueryId query = core::QueryId::kRegression;
+  uint64_t params_fingerprint = 0;
+  core::DatasetSize size = core::DatasetSize::kSmall;
+
+  bool operator==(const CacheKey& o) const {
+    return query == o.query && params_fingerprint == o.params_fingerprint &&
+           size == o.size;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const;
+};
+
+/// Approximate heap footprint of one cached result (the summary structs are
+/// small; only their vectors matter).
+int64_t ApproxResultBytes(const core::QueryResult& result);
+
+/// \brief Thread-safe memoizing LRU cache over query results — the serving
+/// layer's answer to identical operations in a mix recomputing from scratch.
+/// Bounded by entry count and by approximate bytes; inserting past either
+/// bound evicts from the cold end. A single mutex guards the structure:
+/// operations behind it are O(1) and the cached work itself is milliseconds
+/// to seconds, so lock contention is never the bottleneck.
+class ResultCache {
+ public:
+  ResultCache(int64_t max_entries, int64_t max_bytes);
+
+  /// On hit, copies the cached result into `out` (if non-null), refreshes
+  /// recency, and counts a hit; on miss counts a miss.
+  bool Lookup(const CacheKey& key, core::QueryResult* out);
+
+  /// Inserts (or refreshes) `key`, then evicts least-recently-used entries
+  /// until both bounds hold again. An entry larger than max_bytes on its own
+  /// is not cached.
+  void Insert(const CacheKey& key, const core::QueryResult& value);
+
+  void Clear();
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    core::QueryResult value;
+    int64_t bytes = 0;
+  };
+
+  void EvictWhileOverLocked();
+
+  const int64_t max_entries_;
+  const int64_t max_bytes_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index_;
+  int64_t bytes_ = 0;
+  CacheStats counters_;
+};
+
+}  // namespace genbase::serving
+
+#endif  // GENBASE_SERVING_RESULT_CACHE_H_

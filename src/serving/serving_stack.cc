@@ -1,0 +1,154 @@
+#include "serving/serving_stack.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "core/config.h"
+
+namespace genbase::serving {
+
+namespace {
+
+/// Modeled wire size of one request: query id + parameter struct + framing.
+constexpr int64_t kRequestBytes = 256;
+
+/// Folds modeled network seconds into a cell the same way the engines fold
+/// their own virtual costs: glue time, reported inside DM totals, counted
+/// against the op's budget.
+void ChargeModeledGlue(core::CellResult* cell, double seconds,
+                       double timeout_seconds) {
+  cell->glue_s += seconds;
+  cell->dm_s += seconds;
+  cell->modeled_s += seconds;
+  cell->total_s += seconds;
+  if (!cell->infinite && cell->status.ok() &&
+      cell->total_s > timeout_seconds) {
+    cell->infinite = true;
+    cell->status = genbase::Status::DeadlineExceeded(
+        "modeled total exceeds time budget");
+  }
+}
+
+}  // namespace
+
+ServingCounters CountersDelta(const ServingCounters& now,
+                              const ServingCounters& since) {
+  ServingCounters d = now;
+  d.cache.hits -= since.cache.hits;
+  d.cache.misses -= since.cache.misses;
+  d.cache.insertions -= since.cache.insertions;
+  d.cache.evictions -= since.cache.evictions;
+  d.admission.admitted -= since.admission.admitted;
+  d.admission.shed_queue_full -= since.admission.shed_queue_full;
+  d.admission.shed_timeout -= since.admission.shed_timeout;
+  for (size_t s = 0; s < d.shards.size() && s < since.shards.size(); ++s) {
+    d.shards[s].ops -= since.shards[s].ops;
+    d.shards[s].errors -= since.shards[s].errors;
+    d.shards[s].infs -= since.shards[s].infs;
+    d.shards[s].busy_s -= since.shards[s].busy_s;
+  }
+  return d;
+}
+
+ServingStack::ServingStack(const ServingOptions& options,
+                           std::unique_ptr<ShardRouter> router)
+    : options_(options),
+      cache_(options.cache_max_entries, options.cache_max_bytes),
+      admission_(options.admission),
+      router_(std::move(router)) {
+  const auto& c = core::SimConfig::Get();
+  net_ = cluster::NetworkModel{c.net_bandwidth_bytes_per_s, c.net_latency_s};
+}
+
+genbase::Result<std::unique_ptr<ServingStack>> ServingStack::Create(
+    const ServingOptions& options, const ShardRouter::EngineFactory& factory,
+    const core::GenBaseData& data) {
+  GENBASE_ASSIGN_OR_RETURN(std::unique_ptr<ShardRouter> router,
+                           ShardRouter::Create(options.shards, factory, data));
+  return std::unique_ptr<ServingStack>(
+      new ServingStack(options, std::move(router)));
+}
+
+ServeResult ServingStack::Serve(
+    core::QueryId query, core::DatasetSize size,
+    const core::DriverOptions& options, ExecContext* ctx,
+    std::optional<std::chrono::steady_clock::time_point> scheduled_arrival) {
+  ServeResult result;
+  const CacheKey key{query, FingerprintParams(options.params), size};
+
+  if (options_.cache_enabled) {
+    WallTimer lookup_timer;
+    core::QueryResult cached;
+    if (cache_.Lookup(key, &cached)) {
+      // Hit: answered at the serving tier. The op costs the lookup (real)
+      // plus the modeled request/response round trip — no engine work.
+      result.cache_hit = true;
+      core::CellResult& cell = result.cell;
+      cell.engine = router_->engine_name();
+      cell.query = query;
+      cell.size = size;
+      cell.result = std::move(cached);
+      cell.total_s = lookup_timer.Seconds();
+      cell.dm_s = cell.total_s;
+      if (options_.model_network) {
+        ChargeModeledGlue(&cell,
+                          net_.TransferSeconds(kRequestBytes) +
+                              net_.TransferSeconds(
+                                  ApproxResultBytes(cell.result)),
+                          options.timeout_seconds);
+      }
+      return result;
+    }
+  }
+
+  std::optional<std::chrono::steady_clock::time_point> start_deadline;
+  if (admission_.enabled() && admission_.options().max_queue_delay_s > 0) {
+    const auto budget =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                admission_.options().max_queue_delay_s));
+    start_deadline =
+        scheduled_arrival.value_or(std::chrono::steady_clock::now()) + budget;
+  }
+  result.admission = admission_.Admit(start_deadline, &result.admission_wait_s);
+  if (result.admission != AdmissionOutcome::kAdmitted) {
+    result.shed = true;
+    core::CellResult& cell = result.cell;
+    cell.engine = router_->engine_name();
+    cell.query = query;
+    cell.size = size;
+    cell.status = genbase::Status::Cancelled(
+        std::string("shed by admission control (") +
+        AdmissionOutcomeName(result.admission) + ")");
+    return result;
+  }
+
+  result.shard = router_->AcquireShard();
+  result.cell = router_->RunOnShard(result.shard, query, size, options, ctx);
+  admission_.Release();
+
+  if (options_.model_network) {
+    const int64_t reply_bytes = result.cell.status.ok()
+                                    ? ApproxResultBytes(result.cell.result)
+                                    : kRequestBytes;
+    ChargeModeledGlue(&result.cell,
+                      net_.TransferSeconds(kRequestBytes) +
+                          net_.TransferSeconds(reply_bytes),
+                      options.timeout_seconds);
+  }
+  if (options_.cache_enabled && result.cell.supported &&
+      result.cell.status.ok() && !result.cell.infinite) {
+    cache_.Insert(key, result.cell.result);
+  }
+  return result;
+}
+
+ServingCounters ServingStack::counters() const {
+  ServingCounters c;
+  c.cache = cache_.stats();
+  c.admission = admission_.stats();
+  c.shards = router_->stats();
+  return c;
+}
+
+}  // namespace genbase::serving

@@ -1,0 +1,97 @@
+#ifndef GENBASE_SERVING_SERVING_STACK_H_
+#define GENBASE_SERVING_SERVING_STACK_H_
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/sim_cluster.h"
+#include "common/status.h"
+#include "core/datasets.h"
+#include "core/driver.h"
+#include "serving/admission.h"
+#include "serving/counters.h"
+#include "serving/result_cache.h"
+#include "serving/shard_router.h"
+
+namespace genbase::serving {
+
+/// \brief Configuration of one serving stack instance.
+struct ServingOptions {
+  int shards = 1;
+
+  bool cache_enabled = true;
+  int64_t cache_max_entries = 256;
+  int64_t cache_max_bytes = 64LL << 20;
+
+  /// Defaults keep admission disabled (nothing is shed).
+  AdmissionOptions admission;
+
+  /// Charge the cluster/ interconnect model (SimConfig GbE) for the
+  /// client-to-server round trip: request dispatch plus result return. This
+  /// is virtual time, folded into per-op totals the same way every other
+  /// modeled cost is, and it gives cache hits a realistic network-bound
+  /// floor instead of a free 0s.
+  bool model_network = true;
+};
+
+/// \brief Outcome of one Serve() call. Exactly one of these holds: the op
+/// was shed (cell carries the shed status, no result), or it was served
+/// (from cache or a shard) and `cell` is a normal driver cell.
+struct ServeResult {
+  core::CellResult cell;
+  AdmissionOutcome admission = AdmissionOutcome::kAdmitted;
+  bool shed = false;
+  bool cache_hit = false;
+  int shard = -1;               ///< Executing shard; -1 for hits and sheds.
+  double admission_wait_s = 0;  ///< Time spent queued before executing.
+};
+
+/// \brief The serving layer: result cache, then admission control, then the
+/// shard router, in front of one or more loaded engines. Serve() is shaped
+/// like core::RunCellWithContext — the workload runner drives either path
+/// interchangeably.
+///
+/// Layer order is the production one: cache hits are answered before
+/// admission (a hit costs microseconds plus the modeled network round trip,
+/// so shedding it would throw away nearly free goodput), and only cache
+/// misses compete for the bounded execution slots.
+class ServingStack {
+ public:
+  /// Builds and loads `options.shards` engine instances. The stack owns its
+  /// shards; `data` is only borrowed for loading.
+  static genbase::Result<std::unique_ptr<ServingStack>> Create(
+      const ServingOptions& options, const ShardRouter::EngineFactory& factory,
+      const core::GenBaseData& data);
+
+  const ServingOptions& options() const { return options_; }
+  std::string engine_name() const { return router_->engine_name(); }
+  int shards() const { return router_->shards(); }
+
+  /// Serves one operation. `scheduled_arrival`, when set (open-loop
+  /// workloads), anchors deadline-based shedding: the op must *start*
+  /// executing within admission.max_queue_delay_s of its scheduled arrival,
+  /// not of whenever a dispatch thread got around to issuing it.
+  ServeResult Serve(core::QueryId query, core::DatasetSize size,
+                    const core::DriverOptions& options, ExecContext* ctx,
+                    std::optional<std::chrono::steady_clock::time_point>
+                        scheduled_arrival = std::nullopt);
+
+  ServingCounters counters() const;
+
+ private:
+  ServingStack(const ServingOptions& options,
+               std::unique_ptr<ShardRouter> router);
+
+  ServingOptions options_;
+  ResultCache cache_;
+  AdmissionController admission_;
+  std::unique_ptr<ShardRouter> router_;
+  cluster::NetworkModel net_;
+};
+
+}  // namespace genbase::serving
+
+#endif  // GENBASE_SERVING_SERVING_STACK_H_

@@ -1,0 +1,68 @@
+#include "serving/shard_router.h"
+
+#include <utility>
+
+namespace genbase::serving {
+
+genbase::Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
+    int shards, const EngineFactory& factory, const core::GenBaseData& data) {
+  if (shards < 1) {
+    return genbase::Status::InvalidArgument(
+        "shard router: shard count must be >= 1");
+  }
+  auto router = std::unique_ptr<ShardRouter>(new ShardRouter());
+  router->shards_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = factory();
+    if (shard->engine == nullptr) {
+      return genbase::Status::InvalidArgument(
+          "shard router: engine factory returned null");
+    }
+    GENBASE_RETURN_NOT_OK(shard->engine->LoadDataset(data));
+    router->shards_.push_back(std::move(shard));
+  }
+  return router;
+}
+
+int ShardRouter::AcquireShard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int best = 0;
+  for (int s = 1; s < static_cast<int>(shards_.size()); ++s) {
+    if (shards_[static_cast<size_t>(s)]->outstanding <
+        shards_[static_cast<size_t>(best)]->outstanding) {
+      best = s;
+    }
+  }
+  ++shards_[static_cast<size_t>(best)]->outstanding;
+  return best;
+}
+
+core::CellResult ShardRouter::RunOnShard(int s, core::QueryId query,
+                                         core::DatasetSize size,
+                                         const core::DriverOptions& options,
+                                         ExecContext* ctx) {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  const core::CellResult cell =
+      core::RunCellWithContext(shard.engine.get(), query, size, options, ctx);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --shard.outstanding;
+    shard.stats.ops += 1;
+    shard.stats.busy_s += cell.total_s;
+    shard.stats.infs += cell.infinite ? 1 : 0;
+    shard.stats.errors +=
+        (!cell.infinite && (!cell.supported || !cell.status.ok())) ? 1 : 0;
+  }
+  return cell;
+}
+
+std::vector<ShardStats> ShardRouter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->stats);
+  return out;
+}
+
+}  // namespace genbase::serving

@@ -1,0 +1,77 @@
+#ifndef GENBASE_SERVING_SHARD_ROUTER_H_
+#define GENBASE_SERVING_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/datasets.h"
+#include "core/driver.h"
+#include "core/engine.h"
+#include "serving/counters.h"
+
+namespace genbase::serving {
+
+/// \brief Fans operations across N data-parallel engine shards.
+///
+/// Each shard is an independent engine instance with its own loaded copy of
+/// the dataset and its own thread pool — the process-per-shard layout of a
+/// scaled-out analytics service, so ops proceed in parallel with no shared
+/// mutable state between shards. Routing is join-shortest-queue: an op goes
+/// to the shard with the fewest outstanding ops (ties to the lowest id,
+/// which keeps a 1-shard router byte-identical to the direct engine path).
+///
+/// Because every shard holds the full dataset, any shard's answer equals the
+/// single-instance answer — the router's merge step combines per-shard
+/// *statistics*, never partial results, and per-op verification against
+/// core/reference stays exact. Row-partitioned placement, where a query
+/// fans out over data slices (core/datasets dims partitioned via
+/// cluster::PartitionRows) and partial results merge through distributed
+/// kernels, is what cluster::ClusterEngine models; pairing it with this
+/// serving path is named in ROADMAP as the next scaling step.
+class ShardRouter {
+ public:
+  using EngineFactory = std::function<std::unique_ptr<core::Engine>()>;
+
+  /// Builds `shards` engine instances via `factory` and loads `data` into
+  /// each. Fails if any shard fails to load.
+  static genbase::Result<std::unique_ptr<ShardRouter>> Create(
+      int shards, const EngineFactory& factory, const core::GenBaseData& data);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  std::string engine_name() const { return shards_[0]->engine->name(); }
+
+  /// Claims the least-loaded shard for one op (increments its outstanding
+  /// count); the matching RunOnShard releases it.
+  int AcquireShard();
+
+  /// Executes one operation on shard `s` through core::RunCellWithContext
+  /// (the timed, timeout-enforcing path), updates that shard's stats, and
+  /// releases it.
+  core::CellResult RunOnShard(int s, core::QueryId query,
+                              core::DatasetSize size,
+                              const core::DriverOptions& options,
+                              ExecContext* ctx);
+
+  std::vector<ShardStats> stats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<core::Engine> engine;
+    int outstanding = 0;      ///< Guarded by router mu_.
+    ShardStats stats;         ///< Guarded by router mu_.
+  };
+
+  ShardRouter() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace genbase::serving
+
+#endif  // GENBASE_SERVING_SHARD_ROUTER_H_

@@ -1,6 +1,7 @@
 #include "workload/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace genbase::workload {
@@ -69,7 +70,10 @@ void OpStats::MergeFrom(const OpStats& other) {
   errors += other.errors;
   infs += other.infs;
   verify_failures += other.verify_failures;
+  shed_queue_full += other.shed_queue_full;
+  shed_timeout += other.shed_timeout;
   latency.Merge(other.latency);
+  queue_delay.Merge(other.queue_delay);
   dm_s += other.dm_s;
   analytics_s += other.analytics_s;
   glue_s += other.glue_s;
@@ -77,20 +81,22 @@ void OpStats::MergeFrom(const OpStats& other) {
 }
 
 std::string WorkloadReport::Summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof(buf),
-      "%s %s x%d (%s): %s qps  p50=%s p95=%s p99=%s  "
-      "ops=%lld err=%lld inf=%lld badverify=%lld",
-      engine.c_str(), workload_name.c_str(), clients, ClientModelName(model),
-      FormatQps(achieved_qps()).c_str(),
+      "%s %s x%d%s (%s): %s qps  p50=%s p95=%s p99=%s  "
+      "ops=%lld err=%lld inf=%lld badverify=%lld shed=%lld",
+      engine.c_str(), workload_name.c_str(), clients,
+      shards > 1 ? ("/s" + std::to_string(shards)).c_str() : "",
+      ClientModelName(model), FormatQps(achieved_qps()).c_str(),
       FormatMillis(total.latency.Percentile(50)).c_str(),
       FormatMillis(total.latency.Percentile(95)).c_str(),
       FormatMillis(total.latency.Percentile(99)).c_str(),
       static_cast<long long>(total.ops),
       static_cast<long long>(total.errors),
       static_cast<long long>(total.infs),
-      static_cast<long long>(total.verify_failures));
+      static_cast<long long>(total.verify_failures),
+      static_cast<long long>(total.shed()));
   return buf;
 }
 
@@ -113,15 +119,58 @@ void WorkloadReport::Print() const {
               FormatMillis(total.latency.Percentile(90)).c_str(),
               FormatMillis(total.latency.Percentile(99.9)).c_str(),
               FormatMillis(total.latency.max()).c_str());
-  std::printf("  %-14s %7s %6s %5s %5s %9s %9s %9s  %9s %9s %9s\n", "query",
-              "ops", "err", "inf", "bad", "p50", "p95", "p99", "dm(s)",
-              "analyt(s)", "glue(s)");
+  if (offered_qps > 0) {
+    std::printf("  offered=%s qps vs goodput=%s qps (real clock)  shed=%lld "
+                "(queue-full %lld, timeout %lld)\n",
+                FormatQps(offered_qps).c_str(),
+                FormatQps(real_goodput_qps()).c_str(),
+                static_cast<long long>(total.shed()),
+                static_cast<long long>(total.shed_queue_full),
+                static_cast<long long>(total.shed_timeout));
+  }
+  // Only worth a line when queueing was actually observed: closed-loop
+  // direct-engine runs record all-zero delays by construction.
+  if (total.queue_delay.max() > 0) {
+    std::printf("  queue delay: mean=%s p50=%s p99=%s max=%s "
+                "(part of latency; own clock for honest saturated tails)\n",
+                FormatMillis(total.queue_delay.mean()).c_str(),
+                FormatMillis(total.queue_delay.Percentile(50)).c_str(),
+                FormatMillis(total.queue_delay.Percentile(99)).c_str(),
+                FormatMillis(total.queue_delay.max()).c_str());
+  }
+  if (has_serving) {
+    std::printf("  serving: cache hit=%lld miss=%lld (ratio %.2f, "
+                "%lld entries, %lld evicted)  admitted=%lld "
+                "shed=%lld+%lld peakq=%lld\n",
+                static_cast<long long>(serving.cache.hits),
+                static_cast<long long>(serving.cache.misses),
+                serving.cache.hit_ratio(),
+                static_cast<long long>(serving.cache.entries),
+                static_cast<long long>(serving.cache.evictions),
+                static_cast<long long>(serving.admission.admitted),
+                static_cast<long long>(serving.admission.shed_queue_full),
+                static_cast<long long>(serving.admission.shed_timeout),
+                static_cast<long long>(serving.admission.peak_queue));
+    for (size_t s = 0; s < serving.shards.size(); ++s) {
+      const serving::ShardStats& st = serving.shards[s];
+      std::printf("    shard %zu: ops=%lld busy=%ss err=%lld inf=%lld\n", s,
+                  static_cast<long long>(st.ops),
+                  FormatSeconds(st.busy_s).c_str(),
+                  static_cast<long long>(st.errors),
+                  static_cast<long long>(st.infs));
+    }
+  }
+  std::printf("  %-14s %7s %6s %5s %5s %5s %9s %9s %9s  %9s %9s %9s\n",
+              "query", "ops", "err", "inf", "bad", "shed", "p50", "p95",
+              "p99", "dm(s)", "analyt(s)", "glue(s)");
   for (const auto& [query, stats] : per_query) {
-    std::printf("  %-14s %7lld %6lld %5lld %5lld %9s %9s %9s  %9s %9s %9s\n",
+    std::printf(
+        "  %-14s %7lld %6lld %5lld %5lld %5lld %9s %9s %9s  %9s %9s %9s\n",
                 core::QueryName(query), static_cast<long long>(stats.ops),
                 static_cast<long long>(stats.errors),
                 static_cast<long long>(stats.infs),
                 static_cast<long long>(stats.verify_failures),
+                static_cast<long long>(stats.shed()),
                 FormatMillis(stats.latency.Percentile(50)).c_str(),
                 FormatMillis(stats.latency.Percentile(95)).c_str(),
                 FormatMillis(stats.latency.Percentile(99)).c_str(),
@@ -129,6 +178,180 @@ void WorkloadReport::Print() const {
                 FormatSeconds(stats.analytics_s).c_str(),
                 FormatSeconds(stats.glue_s).c_str());
   }
+}
+
+/// --- JSON ---------------------------------------------------------------------
+/// Hand-rolled emitter: every name is a known ASCII literal and the only
+/// string values are engine/workload names, so escaping is limited to the
+/// characters that could actually break the document.
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendKv(std::string* out, const char* key, double value) {
+  char buf[64];
+  // %.17g round-trips doubles; JSON has no inf/nan, clamp to null.
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.17g", key, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "\"%s\":null", key);
+  }
+  out->append(buf);
+}
+
+void AppendKv(std::string* out, const char* key, int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%lld", key,
+                static_cast<long long>(value));
+  out->append(buf);
+}
+
+void AppendHistogram(std::string* out, const char* key,
+                     const LatencyHistogram& h) {
+  out->append("\"").append(key).append("\":{");
+  AppendKv(out, "count", h.count());
+  out->push_back(',');
+  AppendKv(out, "mean_s", h.mean());
+  out->push_back(',');
+  AppendKv(out, "min_s", h.min());
+  out->push_back(',');
+  AppendKv(out, "max_s", h.max());
+  for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    char name[16];
+    std::snprintf(name, sizeof(name), p == 99.9 ? "p999_s" : "p%.0f_s", p);
+    out->push_back(',');
+    AppendKv(out, name, h.Percentile(p));
+  }
+  out->push_back('}');
+}
+
+void AppendOpStats(std::string* out, const OpStats& stats) {
+  out->push_back('{');
+  AppendKv(out, "ops", stats.ops);
+  out->push_back(',');
+  AppendKv(out, "errors", stats.errors);
+  out->push_back(',');
+  AppendKv(out, "infs", stats.infs);
+  out->push_back(',');
+  AppendKv(out, "verify_failures", stats.verify_failures);
+  out->push_back(',');
+  AppendKv(out, "shed_queue_full", stats.shed_queue_full);
+  out->push_back(',');
+  AppendKv(out, "shed_timeout", stats.shed_timeout);
+  out->push_back(',');
+  AppendKv(out, "dm_s", stats.dm_s);
+  out->push_back(',');
+  AppendKv(out, "analytics_s", stats.analytics_s);
+  out->push_back(',');
+  AppendKv(out, "glue_s", stats.glue_s);
+  out->push_back(',');
+  AppendKv(out, "modeled_s", stats.modeled_s);
+  out->push_back(',');
+  AppendHistogram(out, "latency", stats.latency);
+  out->push_back(',');
+  AppendHistogram(out, "queue_delay", stats.queue_delay);
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string WorkloadReport::ToJson() const {
+  std::string out;
+  out.reserve(2048);
+  out.push_back('{');
+  out.append("\"engine\":");
+  AppendEscaped(&out, engine);
+  out.append(",\"workload\":");
+  AppendEscaped(&out, workload_name);
+  out.append(",\"model\":");
+  AppendEscaped(&out, ClientModelName(model));
+  out.push_back(',');
+  AppendKv(&out, "clients", static_cast<int64_t>(clients));
+  out.push_back(',');
+  AppendKv(&out, "shards", static_cast<int64_t>(shards));
+  out.push_back(',');
+  AppendKv(&out, "param_variants", static_cast<int64_t>(param_variants));
+  out.push_back(',');
+  AppendKv(&out, "seed", static_cast<int64_t>(seed));
+  out.push_back(',');
+  AppendKv(&out, "wall_seconds", wall_seconds);
+  out.push_back(',');
+  AppendKv(&out, "modeled_wall_seconds", modeled_wall_seconds());
+  out.push_back(',');
+  AppendKv(&out, "offered_qps", offered_qps);
+  out.push_back(',');
+  AppendKv(&out, "achieved_qps", achieved_qps());
+  out.push_back(',');
+  AppendKv(&out, "real_goodput_qps", real_goodput_qps());
+  out.append(",\"total\":");
+  AppendOpStats(&out, total);
+  out.append(",\"per_query\":{");
+  bool first = true;
+  for (const auto& [query, stats] : per_query) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(core::QueryName(query));
+    out.append("\":");
+    AppendOpStats(&out, stats);
+  }
+  out.push_back('}');
+  if (has_serving) {
+    out.append(",\"serving\":{\"cache\":{");
+    AppendKv(&out, "hits", serving.cache.hits);
+    out.push_back(',');
+    AppendKv(&out, "misses", serving.cache.misses);
+    out.push_back(',');
+    AppendKv(&out, "hit_ratio", serving.cache.hit_ratio());
+    out.push_back(',');
+    AppendKv(&out, "insertions", serving.cache.insertions);
+    out.push_back(',');
+    AppendKv(&out, "evictions", serving.cache.evictions);
+    out.push_back(',');
+    AppendKv(&out, "entries", serving.cache.entries);
+    out.push_back(',');
+    AppendKv(&out, "bytes", serving.cache.bytes);
+    out.append("},\"admission\":{");
+    AppendKv(&out, "admitted", serving.admission.admitted);
+    out.push_back(',');
+    AppendKv(&out, "shed_queue_full", serving.admission.shed_queue_full);
+    out.push_back(',');
+    AppendKv(&out, "shed_timeout", serving.admission.shed_timeout);
+    out.push_back(',');
+    AppendKv(&out, "peak_queue", serving.admission.peak_queue);
+    out.append("},\"shards\":[");
+    for (size_t s = 0; s < serving.shards.size(); ++s) {
+      if (s > 0) out.push_back(',');
+      out.push_back('{');
+      AppendKv(&out, "ops", serving.shards[s].ops);
+      out.push_back(',');
+      AppendKv(&out, "errors", serving.shards[s].errors);
+      out.push_back(',');
+      AppendKv(&out, "infs", serving.shards[s].infs);
+      out.push_back(',');
+      AppendKv(&out, "busy_s", serving.shards[s].busy_s);
+      out.push_back('}');
+    }
+    out.append("]}");
+  }
+  out.push_back('}');
+  return out;
 }
 
 }  // namespace genbase::workload

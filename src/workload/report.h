@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/queries.h"
+#include "serving/counters.h"
 #include "workload/latency_histogram.h"
 #include "workload/workload_spec.h"
 
@@ -42,14 +43,24 @@ struct OpStats {
   int64_t errors = 0;           ///< Non-OK, non-INF failures.
   int64_t infs = 0;             ///< Timeout / resource-exhaustion (paper INF).
   int64_t verify_failures = 0;  ///< OK results that failed reference check.
-  /// Per-op total (measured + modeled) seconds, successful ops only:
-  /// errored ops finish in ~0s and INF ops are censored at the budget, so
-  /// either would distort the distribution. latency.count() == successes.
+  int64_t shed_queue_full = 0;  ///< Rejected on arrival by admission control.
+  int64_t shed_timeout = 0;     ///< Shed in queue past the start deadline.
+  /// Per-op latency, successful (served) ops only: errored ops finish in
+  /// ~0s, INF ops are censored at the budget, and shed ops never execute, so
+  /// any of them would distort the distribution. Open-loop latencies are
+  /// coordinated-omission-corrected: measured from *scheduled arrival* to
+  /// completion, so an op that sat behind a saturated server pays its wait.
+  /// latency.count() == successes.
   LatencyHistogram latency;
+  /// Queueing share of the above, on its own clock: dispatch lag behind the
+  /// arrival schedule plus admission-queue wait, per served op.
+  LatencyHistogram queue_delay;
   double dm_s = 0.0;            ///< Summed phase seconds over ops.
   double analytics_s = 0.0;
   double glue_s = 0.0;
   double modeled_s = 0.0;       ///< Virtual (simulated) share of the sums.
+
+  int64_t shed() const { return shed_queue_full + shed_timeout; }
 
   void MergeFrom(const OpStats& other);
 };
@@ -62,7 +73,18 @@ struct WorkloadReport {
   std::string workload_name;
   ClientModel model = ClientModel::kClosedLoop;
   int clients = 0;
+  int shards = 1;             ///< Engine shards served through (1 = direct).
+  int param_variants = 1;     ///< Distinct parameter variants in the mix.
   uint64_t seed = 0;
+
+  /// Open-loop runs: the offered arrival rate (spec.arrival_rate_qps), so
+  /// goodput can be read against load. 0 for closed-loop runs.
+  double offered_qps = 0.0;
+
+  /// Set when the run went through a ServingStack; `serving` then holds the
+  /// measured-phase delta of cache/admission/shard counters.
+  bool has_serving = false;
+  serving::ServingCounters serving;
 
   double wall_seconds = 0.0;  ///< Measured-phase wall time (real clock).
   OpStats total;
@@ -79,12 +101,26 @@ struct WorkloadReport {
     return wall_seconds + (clients > 0 ? total.modeled_s / clients : 0.0);
   }
 
-  /// Successful operations per modeled wall second (goodput — failures
-  /// excluded, virtual time included).
+  /// Operations that produced a result (shed ops never execute).
+  int64_t served_ops() const { return total.ops - total.shed(); }
+
+  /// Successful operations per modeled wall second (goodput — failures and
+  /// shed ops excluded, virtual time included).
   double achieved_qps() const {
-    const int64_t successes = total.ops - total.errors - total.infs;
+    const int64_t successes =
+        served_ops() - total.errors - total.infs;
     const double wall = modeled_wall_seconds();
     return wall > 0 ? successes / wall : 0.0;
+  }
+
+  /// Successful operations per *real* wall second — the clock offered_qps
+  /// is defined on. Open-loop goodput-vs-offered comparisons must use this
+  /// (achieved_qps divides by the modeled wall, a different clock, and the
+  /// two rates are not mutually comparable).
+  double real_goodput_qps() const {
+    const int64_t successes =
+        served_ops() - total.errors - total.infs;
+    return wall_seconds > 0 ? successes / wall_seconds : 0.0;
   }
   int64_t failed_ops() const { return total.errors + total.infs; }
 
@@ -95,8 +131,14 @@ struct WorkloadReport {
   /// "118qps 28/61/74ms" (p50/p95/p99).
   std::string GridCell() const;
 
-  /// Full human-readable report with the per-query breakdown table.
+  /// Full human-readable report with the per-query breakdown table (plus
+  /// queueing-delay and serving-layer lines when present).
   void Print() const;
+
+  /// Machine-readable dump of everything above (counters, percentiles,
+  /// per-query breakdown, serving-layer stats) as one JSON object, so bench
+  /// runs can be captured into BENCH_*.json artifacts.
+  std::string ToJson() const;
 };
 
 }  // namespace genbase::workload

@@ -1,7 +1,10 @@
 #include "workload/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -15,6 +18,8 @@ namespace genbase::workload {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 /// Per-client accumulation; merged into the report after each phase so the
 /// hot path takes no locks.
 struct ClientState {
@@ -23,18 +28,28 @@ struct ClientState {
   std::map<core::QueryId, OpStats> per_query;
 };
 
-void RecordOutcome(const core::CellResult& cell, const core::QueryResult* truth,
+void RecordOutcome(const WorkloadRunner::OpOutcome& outcome,
+                   const core::QueryResult* truth, core::QueryId query,
                    ClientState* state) {
   // Classify (and verify against ground truth) once; the loop below only
   // bumps counters into the run-total and per-query aggregates.
-  const bool failed = !cell.infinite && (!cell.supported || !cell.status.ok());
-  const bool succeeded = !cell.infinite && !failed;
+  const core::CellResult& cell = outcome.cell;
+  const bool failed = !outcome.shed && !cell.infinite &&
+                      (!cell.supported || !cell.status.ok());
+  const bool succeeded = !outcome.shed && !cell.infinite && !failed;
   const bool mismatched =
       succeeded && truth != nullptr &&
       !core::CompareQueryResults(*truth, cell.result).ok();
-  OpStats& q = state->per_query[cell.query];
+  OpStats& q = state->per_query[query];
   for (OpStats* stats : {&state->total, &q}) {
     stats->ops += 1;
+    if (outcome.shed) {
+      // A shed op never executed: it contributes to the offered load and to
+      // its shed counter, nothing else.
+      stats->shed_timeout += outcome.shed_timeout ? 1 : 0;
+      stats->shed_queue_full += outcome.shed_timeout ? 0 : 1;
+      continue;
+    }
     stats->dm_s += cell.dm_s;
     stats->analytics_s += cell.analytics_s;
     stats->glue_s += cell.glue_s;
@@ -43,11 +58,12 @@ void RecordOutcome(const core::CellResult& cell, const core::QueryResult* truth,
     stats->errors += failed ? 1 : 0;
     stats->verify_failures += mismatched ? 1 : 0;
     if (succeeded) {
-      // Only successful operations enter the latency distribution: an
+      // Only successful operations enter the latency distributions: an
       // unsupported/errored op completes in ~0s and an INF op's time is
       // censored by the budget — recording either would drag p50 down or
       // up artificially. Failures are visible in their own counters.
-      stats->latency.Record(cell.total_s);
+      stats->latency.Record(outcome.queue_delay_s + cell.total_s);
+      stats->queue_delay.Record(outcome.queue_delay_s);
     }
   }
 }
@@ -56,33 +72,85 @@ void RecordOutcome(const core::CellResult& cell, const core::QueryResult* truth,
 
 WorkloadRunner::WorkloadRunner(WorkloadSpec spec) : spec_(std::move(spec)) {}
 
+genbase::Status WorkloadRunner::EnsureTruths(
+    const core::GenBaseData& data, const std::vector<ScheduledOp>& schedule) {
+  if (!spec_.verify) return genbase::Status::OK();
+  // Ground truth once per distinct (query, variant) in the measured phase
+  // (warm-up results are discarded, so they need no truth), skipping pairs
+  // the caller already provided via set_ground_truth*.
+  for (size_t i = static_cast<size_t>(spec_.warmup_ops); i < schedule.size();
+       ++i) {
+    const TruthKey key{schedule[i].query, schedule[i].variant};
+    if (truths_.count(key) != 0) continue;
+    auto truth = core::RunReferenceQuery(
+        key.first, data, VariantParams(spec_.params, key.second));
+    if (!truth.ok()) return truth.status();
+    truths_.emplace(key, std::move(truth).ValueOrDie());
+  }
+  return genbase::Status::OK();
+}
+
 genbase::Result<WorkloadReport> WorkloadRunner::Run(
     core::Engine* engine, const core::GenBaseData& data, bool already_loaded) {
   GENBASE_RETURN_NOT_OK(spec_.Validate());
   if (!already_loaded) {
     GENBASE_RETURN_NOT_OK(engine->LoadDataset(data));
   }
-
-  // Ground truth, once per distinct query in the mix (skipping queries the
-  // caller already provided via set_ground_truth).
-  std::map<core::QueryId, core::QueryResult>& truths = truths_;
-  if (spec_.verify) {
-    for (const QueryMixEntry& entry : spec_.NormalizedMix()) {
-      if (entry.weight <= 0 || truths.count(entry.query) != 0) continue;
-      auto truth =
-          core::RunReferenceQuery(entry.query, data, spec_.params);
-      if (!truth.ok()) return truth.status();
-      truths.emplace(entry.query, std::move(truth).ValueOrDie());
-    }
-  }
-
   const std::vector<ScheduledOp> schedule = BuildSchedule(spec_);
+  GENBASE_RETURN_NOT_OK(EnsureTruths(data, schedule));
+
+  return RunScheduled(engine->name(), /*shards=*/1, /*stack=*/nullptr,
+                      schedule,
+                      [engine, this](const ScheduledOp& op,
+                                     const core::DriverOptions& options,
+                                     std::optional<Clock::time_point>,
+                                     ExecContext* ctx) {
+                        OpOutcome outcome;
+                        outcome.cell = core::RunCellWithContext(
+                            engine, op.query, spec_.size, options, ctx);
+                        return outcome;
+                      });
+}
+
+genbase::Result<WorkloadReport> WorkloadRunner::Run(
+    serving::ServingStack* stack, const core::GenBaseData& data) {
+  GENBASE_RETURN_NOT_OK(spec_.Validate());
+  const std::vector<ScheduledOp> schedule = BuildSchedule(spec_);
+  GENBASE_RETURN_NOT_OK(EnsureTruths(data, schedule));
+
+  return RunScheduled(
+      stack->engine_name(), stack->shards(), stack, schedule,
+      [stack, this](const ScheduledOp& op, const core::DriverOptions& options,
+                    std::optional<Clock::time_point> arrival,
+                    ExecContext* ctx) {
+        const serving::ServeResult served =
+            stack->Serve(op.query, spec_.size, options, ctx, arrival);
+        OpOutcome outcome;
+        outcome.cell = served.cell;
+        outcome.shed = served.shed;
+        outcome.shed_timeout =
+            served.admission == serving::AdmissionOutcome::kShedTimeout;
+        outcome.queue_delay_s = served.admission_wait_s;
+        return outcome;
+      });
+}
+
+genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
+    const std::string& engine_name, int shards, serving::ServingStack* stack,
+    const std::vector<ScheduledOp>& schedule, const Executor& exec) {
   const size_t warmup_end = static_cast<size_t>(spec_.warmup_ops);
 
-  core::DriverOptions options;
-  options.timeout_seconds = spec_.timeout_seconds;
-  options.params = spec_.params;
+  // Per-variant driver options, precomputed once.
+  std::vector<core::DriverOptions> variant_options(
+      static_cast<size_t>(spec_.param_variants));
+  for (int v = 0; v < spec_.param_variants; ++v) {
+    variant_options[static_cast<size_t>(v)].timeout_seconds =
+        spec_.timeout_seconds;
+    variant_options[static_cast<size_t>(v)].params =
+        VariantParams(spec_.params, v);
+  }
 
+  const bool open_loop = spec_.model != ClientModel::kClosedLoop;
   std::vector<ClientState> clients(spec_.clients);
   ThreadPool pool(spec_.clients);
 
@@ -91,7 +159,7 @@ genbase::Result<WorkloadReport> WorkloadRunner::Run(
   // arrival offset (relative to `phase_start`) before issuing.
   auto run_phase = [&](size_t begin, size_t end, bool record) {
     std::atomic<size_t> cursor{begin};
-    const auto phase_start = std::chrono::steady_clock::now();
+    const auto phase_start = Clock::now();
     for (int c = 0; c < spec_.clients; ++c) {
       ClientState* state = &clients[c];
       pool.Submit([&, state] {
@@ -109,19 +177,31 @@ genbase::Result<WorkloadReport> WorkloadRunner::Run(
           }
           first_op = false;
           const ScheduledOp& op = schedule[i];
-          if (op.arrival_offset_s > 0) {
-            std::this_thread::sleep_until(
-                phase_start + std::chrono::duration_cast<
-                                  std::chrono::steady_clock::duration>(
-                                  std::chrono::duration<double>(
-                                      op.arrival_offset_s)));
+          std::optional<Clock::time_point> arrival;
+          double dispatch_lag_s = 0.0;
+          if (open_loop) {
+            arrival = phase_start +
+                      std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(op.arrival_offset_s));
+            if (*arrival > Clock::now()) {
+              std::this_thread::sleep_until(*arrival);
+            }
+            // Coordinated-omission correction: the op was *scheduled* at
+            // `arrival`; any lag before this thread could issue it is
+            // queueing delay the op's client really experienced.
+            dispatch_lag_s = std::max(
+                0.0, std::chrono::duration<double>(Clock::now() - *arrival)
+                         .count());
           }
-          const core::CellResult cell = core::RunCellWithContext(
-              engine, op.query, spec_.size, options, &state->ctx);
+          OpOutcome outcome =
+              exec(op, variant_options[static_cast<size_t>(op.variant)],
+                   arrival, &state->ctx);
+          outcome.queue_delay_s += dispatch_lag_s;
           if (record) {
-            auto it = truths.find(op.query);
-            RecordOutcome(cell, it == truths.end() ? nullptr : &it->second,
-                          state);
+            auto it = truths_.find({op.query, op.variant});
+            RecordOutcome(outcome,
+                          it == truths_.end() ? nullptr : &it->second,
+                          op.query, state);
           }
         }
       });
@@ -131,17 +211,30 @@ genbase::Result<WorkloadReport> WorkloadRunner::Run(
 
   if (warmup_end > 0) run_phase(0, warmup_end, /*record=*/false);
 
+  // Serving counters over the measured phase only: warm-up legitimately
+  // warms the cache, but its hits/misses are not part of the measurement.
+  serving::ServingCounters counters_at_measure_start;
+  if (stack != nullptr) counters_at_measure_start = stack->counters();
+
   WallTimer wall;
   run_phase(warmup_end, schedule.size(), /*record=*/true);
   const double wall_seconds = wall.Seconds();
 
   WorkloadReport report;
-  report.engine = engine->name();
+  report.engine = engine_name;
   report.workload_name = spec_.name;
   report.model = spec_.model;
   report.clients = spec_.clients;
+  report.shards = shards;
+  report.param_variants = spec_.param_variants;
   report.seed = spec_.seed;
   report.wall_seconds = wall_seconds;
+  if (open_loop) report.offered_qps = spec_.arrival_rate_qps;
+  if (stack != nullptr) {
+    report.has_serving = true;
+    report.serving =
+        serving::CountersDelta(stack->counters(), counters_at_measure_start);
+  }
   for (const ClientState& state : clients) {
     report.total.MergeFrom(state.total);
     for (const auto& [query, stats] : state.per_query) {

@@ -1,62 +1,121 @@
 #ifndef GENBASE_WORKLOAD_RUNNER_H_
 #define GENBASE_WORKLOAD_RUNNER_H_
 
+#include <chrono>
+#include <functional>
 #include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "core/datasets.h"
 #include "core/engine.h"
+#include "serving/serving_stack.h"
 #include "workload/report.h"
 #include "workload/workload_spec.h"
 
 namespace genbase::workload {
 
-/// \brief Drives a concurrent mixed-query workload against one engine.
+/// \brief Drives a concurrent mixed-query workload against one engine or a
+/// serving stack.
 ///
-/// The runner loads the dataset into the engine once, expands the spec into
-/// its deterministic operation schedule (see BuildSchedule), then fans
-/// `spec.clients` client threads out over a dedicated common/thread_pool.
-/// Clients claim operations from the shared schedule through an atomic
-/// cursor and execute them through core::RunCellWithContext — the same
-/// timed, timeout/INF-enforcing path the single-cell figures use — each with
-/// its own reusable ExecContext. Engines are driven as one shared session:
-/// they only read loaded state during RunQuery and their trackers are
-/// atomic, so a single loaded engine serves all clients, exactly like a
-/// database server under concurrent sessions.
+/// The runner expands the spec into its deterministic operation schedule
+/// (see BuildSchedule), then fans `spec.clients` client threads out over a
+/// dedicated common/thread_pool. Clients claim operations from the shared
+/// schedule through an atomic cursor and execute them either directly
+/// through core::RunCellWithContext — the same timed, timeout/INF-enforcing
+/// path the single-cell figures use — or through serving::ServingStack
+/// (result cache, admission control, shard routing), each with its own
+/// reusable ExecContext. Engines are driven as one shared session: they only
+/// read loaded state during RunQuery and their trackers are atomic, so a
+/// single loaded engine serves all clients, exactly like a database server
+/// under concurrent sessions.
 ///
-/// Determinism: operation count and query mix of a run are a pure function
-/// of the spec (schedule is pre-built; every scheduled op executes exactly
-/// once). Latencies and throughput are measured and vary run to run.
+/// Determinism: operation count, query mix and parameter variants of a run
+/// are a pure function of the spec (schedule is pre-built; every scheduled
+/// op executes — or is shed — exactly once). Latencies, throughput and shed
+/// decisions are measured and vary run to run.
 ///
-/// When `spec.verify` is set, the ground truth for every query in the mix is
-/// computed once through core/reference and every completed operation's
-/// result is compared against it (core/verify tolerances); mismatches are
-/// tallied as verify_failures.
+/// Latency accounting is coordinated-omission aware: under the open-loop
+/// models, a served op's latency runs from its *scheduled arrival* (the
+/// instant a real client would have issued it), not from whenever a
+/// dispatch thread got to it, and the queueing share (dispatch lag plus
+/// admission wait) is recorded in its own histogram.
+///
+/// When `spec.verify` is set, the ground truth for every (query, variant)
+/// pair in the measured schedule is computed once through core/reference and
+/// every served operation's result — cached or executed — is compared
+/// against it (core/verify tolerances); mismatches are tallied as
+/// verify_failures.
 class WorkloadRunner {
  public:
+  /// Ground truth is keyed by (query, param-variant index).
+  using TruthKey = std::pair<core::QueryId, int>;
+
+  /// One executed (or shed) operation, as consumed by the record step.
+  struct OpOutcome {
+    core::CellResult cell;
+    bool shed = false;
+    bool shed_timeout = false;  ///< vs queue-full, when shed.
+    double queue_delay_s = 0.0; ///< Dispatch lag + admission wait.
+  };
+
   explicit WorkloadRunner(WorkloadSpec spec);
 
   const WorkloadSpec& spec() const { return spec_; }
 
-  /// Installs precomputed ground truth, keyed by query. Truth depends only
-  /// on (query, data, params), so callers sweeping one dataset across many
-  /// engines/client counts (bench/fig6) compute it once and share it;
-  /// without this, Run recomputes the reference for every invocation.
+  /// Installs precomputed ground truth for the base params (variant 0).
+  /// Truth depends only on (query, data, params), so callers sweeping one
+  /// dataset across many engines/client counts (bench/fig6) compute it once
+  /// and share it; without this, Run recomputes the reference for every
+  /// invocation.
   void set_ground_truth(std::map<core::QueryId, core::QueryResult> truths) {
-    truths_ = std::move(truths);
+    for (auto& [query, truth] : truths) {
+      truths_[{query, 0}] = std::move(truth);
+    }
+  }
+
+  /// As above for variant-keyed truths (callers sweeping param_variants).
+  void set_ground_truth_variants(
+      std::map<TruthKey, core::QueryResult> truths) {
+    for (auto& [key, truth] : truths) truths_[key] = std::move(truth);
   }
 
   /// Loads `data` into `engine` (unless `already_loaded`), runs the warm-up
-  /// and measured phases, and returns the aggregated report. Returns a
-  /// non-OK status only for spec/load/reference failures; per-operation
-  /// failures are reported in the WorkloadReport counters.
+  /// and measured phases directly against the engine, and returns the
+  /// aggregated report. Returns a non-OK status only for spec/load/reference
+  /// failures; per-operation failures are reported in the WorkloadReport
+  /// counters.
   genbase::Result<WorkloadReport> Run(core::Engine* engine,
                                       const core::GenBaseData& data,
                                       bool already_loaded = false);
 
+  /// Runs the workload through a serving stack (whose shards were loaded at
+  /// ServingStack::Create). `data` is used only to compute missing reference
+  /// truths. The report additionally carries the measured-phase
+  /// cache/admission/shard counters and shed tallies.
+  genbase::Result<WorkloadReport> Run(serving::ServingStack* stack,
+                                      const core::GenBaseData& data);
+
  private:
+  using Executor = std::function<OpOutcome(
+      const ScheduledOp& op, const core::DriverOptions& options,
+      std::optional<std::chrono::steady_clock::time_point> scheduled_arrival,
+      ExecContext* ctx)>;
+
+  genbase::Status EnsureTruths(const core::GenBaseData& data,
+                               const std::vector<ScheduledOp>& schedule);
+
+  /// The shared client/phase machinery behind both Run overloads.
+  genbase::Result<WorkloadReport> RunScheduled(
+      const std::string& engine_name, int shards,
+      serving::ServingStack* stack, const std::vector<ScheduledOp>& schedule,
+      const Executor& exec);
+
   WorkloadSpec spec_;
-  std::map<core::QueryId, core::QueryResult> truths_;
+  std::map<TruthKey, core::QueryResult> truths_;
 };
 
 }  // namespace genbase::workload

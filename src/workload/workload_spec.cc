@@ -43,6 +43,10 @@ genbase::Status WorkloadSpec::Validate() const {
     return genbase::Status::InvalidArgument(
         "workload: open-loop models need arrival_rate_qps > 0");
   }
+  if (param_variants < 1) {
+    return genbase::Status::InvalidArgument(
+        "workload: param_variants must be >= 1");
+  }
   double weight_sum = 0;
   for (const auto& entry : mix) {
     if (entry.weight < 0 || !std::isfinite(entry.weight)) {
@@ -71,6 +75,29 @@ std::vector<QueryMixEntry> WorkloadSpec::NormalizedMix() const {
   return entries;
 }
 
+core::QueryParams VariantParams(const core::QueryParams& base, int variant) {
+  if (variant <= 0) return base;
+  core::QueryParams p = base;
+  // Mild arithmetic perturbations: each stays valid down to the tiny test
+  // scales (selections stay non-empty, ranks stay >= 2), and each changes
+  // at least one query's answer so cached results cannot be shared across
+  // variants.
+  p.function_threshold =
+      std::max<int64_t>(64, base.function_threshold - 8 * (variant % 8));
+  p.covariance_quantile = std::clamp(
+      base.covariance_quantile - 0.02 * (variant % 4), 0.50, 0.99);
+  p.max_age = base.max_age + 3 * (variant % 3);
+  p.svd_rank = std::max(2, base.svd_rank - (variant % 4));
+  // The visible perturbations above cycle (period 24); this strictly
+  // monotone microscopic offset keeps every variant's params bit-distinct —
+  // hence a distinct serving-cache key — at any variant count. 1e-9
+  // relative is far below any p-value granularity the Wilcoxon test
+  // produces, and reference truth is computed with the same params, so
+  // verification is unaffected either way.
+  p.significance = base.significance * (1.0 + 1e-9 * variant);
+  return p;
+}
+
 std::vector<ScheduledOp> BuildSchedule(const WorkloadSpec& spec) {
   const std::vector<QueryMixEntry> mix = spec.NormalizedMix();
   const int total = spec.warmup_ops + spec.measured_ops;
@@ -80,6 +107,8 @@ std::vector<ScheduledOp> BuildSchedule(const WorkloadSpec& spec) {
   Rng mix_rng(SeedFromTag("workload/mix", SeedFromTag(spec.name), spec.seed));
   Rng arrival_rng(
       SeedFromTag("workload/arrival", SeedFromTag(spec.name), spec.seed));
+  Rng variant_rng(
+      SeedFromTag("workload/variant", SeedFromTag(spec.name), spec.seed));
 
   // Fallback for the inverse-CDF draw below: the last entry with positive
   // weight, so floating-point residue in the cumulative sum can never
@@ -103,6 +132,10 @@ std::vector<ScheduledOp> BuildSchedule(const WorkloadSpec& spec) {
         op.query = e.query;
         break;
       }
+    }
+    if (spec.param_variants > 1) {
+      op.variant = static_cast<int>(
+          variant_rng.UniformInt(0, spec.param_variants - 1));
     }
     // Warm-up operations are issued immediately regardless of model: they
     // exist to populate caches, not to shape arrival timing. Arrival

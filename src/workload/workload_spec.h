@@ -63,6 +63,12 @@ struct WorkloadSpec {
   /// Per-operation time budget (the paper's INF cutoff).
   double timeout_seconds = 40.0;
 
+  /// Number of distinct parameter variants ops draw from (>= 1). Variant 0
+  /// is `params` itself; variant v > 0 is VariantParams(params, v). With V
+  /// variants over Q queries a mix has ~Q*V distinct (query, params) keys,
+  /// which is the knob serving-cache sweeps turn to target a hit ratio.
+  int param_variants = 1;
+
   uint64_t seed = 42;
 
   /// Verify every completed operation against core/reference ground truth.
@@ -79,10 +85,20 @@ struct WorkloadSpec {
 /// \brief One scheduled operation of a workload run.
 struct ScheduledOp {
   core::QueryId query = core::QueryId::kRegression;
+  /// Parameter variant index in [0, spec.param_variants).
+  int variant = 0;
   /// Open-loop models: seconds after the measured phase starts at which
   /// this operation becomes eligible to issue. Zero under closed loop.
   double arrival_offset_s = 0.0;
 };
+
+/// \brief Deterministic mild perturbation of the benchmark parameters for
+/// variant `v` (v == 0 returns `base` unchanged). Perturbed fields stay
+/// inside ranges that are valid at every dataset scale the tests and
+/// benches use, so any (query, variant) pair has a computable reference
+/// result. Distinct variants produce distinct params fingerprints, which is
+/// what makes them distinct serving-cache keys.
+core::QueryParams VariantParams(const core::QueryParams& base, int variant);
 
 /// \brief Deterministically expands a spec into its full operation sequence
 /// (warm-up followed by measured ops). Draws query ids from the normalized

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/check.h"
+#include "core/generator.h"
+#include "core/verify.h"
+#include "engine/engines.h"
+#include "serving/admission.h"
+#include "serving/result_cache.h"
+#include "serving/serving_stack.h"
+#include "workload/runner.h"
+
+namespace genbase::serving {
+namespace {
+
+constexpr double kTinyScale = 0.008;  // 40 genes x 40 patients for small.
+
+const core::GenBaseData& TinyData() {
+  static const core::GenBaseData* data = [] {
+    auto r = core::GenerateDataset(core::DatasetSize::kSmall, kTinyScale);
+    GENBASE_CHECK(r.ok());
+    return new core::GenBaseData(std::move(r).ValueOrDie());
+  }();
+  return *data;
+}
+
+core::QueryParams TinyParams() {
+  core::QueryParams p;
+  p.svd_rank = 6;
+  p.bicluster_count = 2;
+  p.sample_fraction = 0.1;
+  return p;
+}
+
+core::DriverOptions TinyOptions() {
+  core::DriverOptions options;
+  options.timeout_seconds = 30.0;
+  options.params = TinyParams();
+  return options;
+}
+
+// --- params fingerprint -----------------------------------------------------
+
+TEST(FingerprintTest, EqualParamsShareAFingerprint) {
+  core::QueryParams a, b;
+  EXPECT_EQ(FingerprintParams(a), FingerprintParams(b));
+}
+
+TEST(FingerprintTest, EveryFieldChangesTheFingerprint) {
+  const core::QueryParams base;
+  const uint64_t h = FingerprintParams(base);
+  core::QueryParams p = base;
+  p.function_threshold += 1;
+  EXPECT_NE(FingerprintParams(p), h);
+  p = base;
+  p.disease_id += 1;
+  EXPECT_NE(FingerprintParams(p), h);
+  p = base;
+  p.covariance_quantile += 1e-9;
+  EXPECT_NE(FingerprintParams(p), h);
+  p = base;
+  p.svd_rank += 1;
+  EXPECT_NE(FingerprintParams(p), h);
+  p = base;
+  p.sample_fraction *= 2;
+  EXPECT_NE(FingerprintParams(p), h);
+}
+
+TEST(FingerprintTest, EveryWorkloadVariantIsADistinctCacheKey) {
+  // The contract behind hit-ratio sweeps: V variants => V distinct keys per
+  // query, even past the period of the visible perturbations.
+  const core::QueryParams base;
+  std::set<uint64_t> fingerprints;
+  for (int v = 0; v < 64; ++v) {
+    fingerprints.insert(FingerprintParams(workload::VariantParams(base, v)));
+  }
+  EXPECT_EQ(fingerprints.size(), 64u);
+}
+
+// --- result cache -----------------------------------------------------------
+
+core::QueryResult SvdResultWithValues(int n, double scale) {
+  core::QueryResult r;
+  r.query = core::QueryId::kSvd;
+  for (int i = 0; i < n; ++i) {
+    r.svd.singular_values.push_back(scale * (n - i));
+  }
+  return r;
+}
+
+CacheKey KeyWithFingerprint(uint64_t fp) {
+  return CacheKey{core::QueryId::kSvd, fp, core::DatasetSize::kSmall};
+}
+
+TEST(ResultCacheTest, HitRefreshesRecencyAndEvictionIsLru) {
+  ResultCache cache(/*max_entries=*/2, /*max_bytes=*/1 << 20);
+  core::QueryResult out;
+  EXPECT_FALSE(cache.Lookup(KeyWithFingerprint(1), &out));  // Miss.
+  cache.Insert(KeyWithFingerprint(1), SvdResultWithValues(3, 1.0));
+  cache.Insert(KeyWithFingerprint(2), SvdResultWithValues(3, 2.0));
+  // Touch key 1 so key 2 is now the LRU entry.
+  EXPECT_TRUE(cache.Lookup(KeyWithFingerprint(1), &out));
+  EXPECT_DOUBLE_EQ(out.svd.singular_values[0], 3.0);
+  cache.Insert(KeyWithFingerprint(3), SvdResultWithValues(3, 3.0));
+  EXPECT_FALSE(cache.Lookup(KeyWithFingerprint(2), &out));  // Evicted.
+  EXPECT_TRUE(cache.Lookup(KeyWithFingerprint(1), &out));
+  EXPECT_TRUE(cache.Lookup(KeyWithFingerprint(3), &out));
+  EXPECT_DOUBLE_EQ(out.svd.singular_values[0], 9.0);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_EQ(stats.insertions, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_NEAR(stats.hit_ratio(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(ResultCacheTest, ByteBoundEvictsAndTracksBytes) {
+  const int64_t one = ApproxResultBytes(SvdResultWithValues(64, 1.0));
+  ResultCache cache(/*max_entries=*/16, /*max_bytes=*/one + one / 2);
+  cache.Insert(KeyWithFingerprint(1), SvdResultWithValues(64, 1.0));
+  EXPECT_EQ(cache.stats().bytes, one);
+  cache.Insert(KeyWithFingerprint(2), SvdResultWithValues(64, 2.0));
+  // Both do not fit; the older entry is evicted.
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.bytes, one);
+  core::QueryResult out;
+  EXPECT_FALSE(cache.Lookup(KeyWithFingerprint(1), &out));
+  EXPECT_TRUE(cache.Lookup(KeyWithFingerprint(2), &out));
+}
+
+TEST(ResultCacheTest, OversizedValueIsNotCached) {
+  ResultCache cache(/*max_entries=*/4, /*max_bytes=*/64);
+  cache.Insert(KeyWithFingerprint(1), SvdResultWithValues(64, 1.0));
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().insertions, 0);
+}
+
+// --- admission controller ---------------------------------------------------
+
+TEST(AdmissionTest, DisabledControllerAdmitsEverything) {
+  AdmissionController ac(AdmissionOptions{});
+  EXPECT_FALSE(ac.enabled());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ac.Admit(std::nullopt), AdmissionOutcome::kAdmitted);
+  }
+}
+
+TEST(AdmissionTest, FullQueueShedsOnArrival) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 0;
+  AdmissionController ac(options);
+  EXPECT_EQ(ac.Admit(std::nullopt), AdmissionOutcome::kAdmitted);
+  // Slot busy and no queue slots: immediate shed, no blocking.
+  EXPECT_EQ(ac.Admit(std::nullopt), AdmissionOutcome::kShedQueueFull);
+  ac.Release();
+  EXPECT_EQ(ac.Admit(std::nullopt), AdmissionOutcome::kAdmitted);
+  ac.Release();
+  const AdmissionStats stats = ac.stats();
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.shed_queue_full, 1);
+  EXPECT_EQ(stats.shed_timeout, 0);
+}
+
+TEST(AdmissionTest, QueuedOpShedsAtItsStartDeadline) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 4;
+  options.max_queue_delay_s = 1.0;  // Policy enabled; deadline passed in.
+  AdmissionController ac(options);
+  ASSERT_EQ(ac.Admit(std::nullopt), AdmissionOutcome::kAdmitted);
+  double waited = 0;
+  const auto outcome = ac.Admit(
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30),
+      &waited);
+  EXPECT_EQ(outcome, AdmissionOutcome::kShedTimeout);
+  EXPECT_GE(waited, 0.02);
+  ac.Release();
+  EXPECT_EQ(ac.stats().shed_timeout, 1);
+}
+
+TEST(AdmissionTest, WaiterIsAdmittedWhenSlotFrees) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 4;
+  AdmissionController ac(options);
+  ASSERT_EQ(ac.Admit(std::nullopt), AdmissionOutcome::kAdmitted);
+  AdmissionOutcome waiter_outcome = AdmissionOutcome::kShedTimeout;
+  double waited = 0;
+  std::thread waiter([&] {
+    waiter_outcome = ac.Admit(std::nullopt, &waited);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ac.Release();
+  waiter.join();
+  EXPECT_EQ(waiter_outcome, AdmissionOutcome::kAdmitted);
+  EXPECT_GE(waited, 0.01);
+  ac.Release();
+  const AdmissionStats stats = ac.stats();
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.shed(), 0);
+  EXPECT_GE(stats.peak_queue, 1);
+}
+
+TEST(AdmissionTest, StaleArrivalShedsWithoutQueueing) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 4;
+  options.max_queue_delay_s = 0.01;
+  AdmissionController ac(options);
+  ASSERT_EQ(ac.Admit(std::nullopt), AdmissionOutcome::kAdmitted);
+  // Deadline already in the past (client dispatched the op late): shed
+  // immediately rather than occupying a queue slot.
+  EXPECT_EQ(ac.Admit(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(5)),
+            AdmissionOutcome::kShedTimeout);
+  ac.Release();
+}
+
+// --- serving stack ----------------------------------------------------------
+
+ServingOptions CacheOnlyOptions(int shards) {
+  ServingOptions options;
+  options.shards = shards;
+  options.cache_enabled = true;
+  return options;
+}
+
+TEST(ServingStackTest, CacheHitReturnsTheIdenticalResult) {
+  auto stack = ServingStack::Create(CacheOnlyOptions(1),
+                                    engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  ExecContext ctx;
+  const auto first = (*stack)->Serve(core::QueryId::kRegression,
+                                     core::DatasetSize::kSmall, TinyOptions(),
+                                     &ctx);
+  ASSERT_FALSE(first.shed);
+  ASSERT_TRUE(first.cell.status.ok()) << first.cell.status.ToString();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.shard, 0);
+
+  const auto second = (*stack)->Serve(core::QueryId::kRegression,
+                                      core::DatasetSize::kSmall,
+                                      TinyOptions(), &ctx);
+  ASSERT_FALSE(second.shed);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.shard, -1);
+  EXPECT_TRUE(core::CompareQueryResults(first.cell.result,
+                                        second.cell.result).ok());
+  // A hit is not free: it pays the modeled network round trip.
+  EXPECT_GT(second.cell.total_s, 0.0);
+  EXPECT_GT(second.cell.modeled_s, 0.0);
+
+  const ServingCounters counters = (*stack)->counters();
+  EXPECT_EQ(counters.cache.hits, 1);
+  EXPECT_EQ(counters.cache.misses, 1);
+  ASSERT_EQ(counters.shards.size(), 1u);
+  EXPECT_EQ(counters.shards[0].ops, 1);
+}
+
+TEST(ServingStackTest, DistinctParamsAreDistinctCacheKeys) {
+  auto stack = ServingStack::Create(CacheOnlyOptions(1),
+                                    engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(stack.ok());
+  ExecContext ctx;
+  core::DriverOptions a = TinyOptions();
+  core::DriverOptions b = TinyOptions();
+  b.params.function_threshold -= 16;
+  (void)(*stack)->Serve(core::QueryId::kRegression,
+                        core::DatasetSize::kSmall, a, &ctx);
+  const auto r = (*stack)->Serve(core::QueryId::kRegression,
+                                 core::DatasetSize::kSmall, b, &ctx);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ((*stack)->counters().cache.misses, 2);
+}
+
+workload::WorkloadSpec SmokeSpec() {
+  workload::WorkloadSpec spec;
+  spec.name = "serving-smoke";
+  spec.params = TinyParams();
+  spec.size = core::DatasetSize::kSmall;
+  spec.clients = 4;
+  spec.warmup_ops = 4;
+  spec.measured_ops = 24;
+  spec.seed = 99;
+  spec.verify = true;
+  return spec;
+}
+
+TEST(ServingStackTest, ShardedRunMatchesSingleInstanceResults) {
+  // The merge step combines per-shard statistics, never partial results:
+  // a 4-shard run must serve the identical deterministic schedule with the
+  // identical per-op results (every op reference-verified) as 1 shard.
+  std::map<int, workload::WorkloadReport> reports;
+  for (int shards : {1, 4}) {
+    ServingOptions options;
+    options.shards = shards;
+    options.cache_enabled = false;  // Force every op through a shard.
+    auto stack = ServingStack::Create(options, engine::CreateColumnStoreUdf,
+                                      TinyData());
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    workload::WorkloadRunner runner(SmokeSpec());
+    auto report = runner.Run(stack->get(), TinyData());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    reports[shards] = std::move(report).ValueOrDie();
+  }
+  for (auto& [shards, report] : reports) {
+    EXPECT_EQ(report.total.ops, 24) << shards;
+    EXPECT_EQ(report.total.errors, 0) << shards;
+    EXPECT_EQ(report.total.verify_failures, 0) << shards;
+    EXPECT_EQ(report.total.shed(), 0) << shards;
+    EXPECT_EQ(report.shards, shards);
+    EXPECT_TRUE(report.has_serving);
+  }
+  // Identical schedule => identical per-query op counts.
+  ASSERT_EQ(reports[1].per_query.size(), reports[4].per_query.size());
+  for (const auto& [query, stats] : reports[1].per_query) {
+    ASSERT_TRUE(reports[4].per_query.count(query));
+    EXPECT_EQ(stats.ops, reports[4].per_query.at(query).ops);
+  }
+  // The 4-shard run spread ops over shards, and the merge accounts for all.
+  int64_t shard_ops = 0;
+  for (const auto& s : reports[4].serving.shards) shard_ops += s.ops;
+  EXPECT_EQ(shard_ops, 24);
+  EXPECT_GT(reports[4].serving.shards.size(), 1u);
+}
+
+TEST(ServingStackTest, CachedWorkloadRunVerifiesAndCountsHits) {
+  ServingOptions options = CacheOnlyOptions(2);
+  auto stack = ServingStack::Create(options, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(stack.ok());
+  workload::WorkloadSpec spec = SmokeSpec();
+  spec.param_variants = 3;
+  workload::WorkloadRunner runner(spec);
+  auto report = runner.Run(stack->get(), TinyData());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Cached results pass the same reference verification as executed ones.
+  EXPECT_EQ(report->total.verify_failures, 0);
+  EXPECT_EQ(report->total.errors, 0);
+  EXPECT_EQ(report->total.ops, 24);
+  // Every measured op probed the cache; repeats beyond the <= 5*3 distinct
+  // keys must hit.
+  EXPECT_EQ(report->serving.cache.hits + report->serving.cache.misses, 24);
+  EXPECT_GT(report->serving.cache.hits, 0);
+}
+
+TEST(ServingStackTest, OverloadShedsAndAccountsSeparately) {
+  ServingOptions options;
+  options.shards = 1;
+  options.cache_enabled = false;  // Hits would bypass admission.
+  options.admission.max_inflight = 1;
+  // Zero queue slots plus a 0.1ms start budget: any op arriving while the
+  // slot is busy sheds queue-full, and any op dispatched behind its
+  // scheduled arrival by more than the budget is stale and sheds outright.
+  // The whole schedule arrives within ~32us while each biclustering op
+  // takes hundreds of microseconds, so ops past the first dispatch wave
+  // are guaranteed stale — shedding does not depend on thread timing.
+  options.admission.max_queue = 0;
+  options.admission.max_queue_delay_s = 1e-4;
+  auto stack = ServingStack::Create(options, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(stack.ok());
+
+  workload::WorkloadSpec spec = SmokeSpec();
+  spec.mix = {{core::QueryId::kBiclustering, 1.0}};
+  spec.model = workload::ClientModel::kOpenLoopUniform;
+  spec.arrival_rate_qps = 1e6;  // Entire schedule arrives within ~32us.
+  spec.clients = 8;
+  spec.measured_ops = 32;
+  spec.warmup_ops = 0;
+  spec.verify = false;
+  workload::WorkloadRunner runner(spec);
+  auto report = runner.Run(stack->get(), TinyData());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Every scheduled op is accounted exactly once: served or shed.
+  EXPECT_EQ(report->total.ops, 32);
+  EXPECT_GT(report->total.shed(), 0);
+  const int64_t served = report->served_ops();
+  EXPECT_EQ(served + report->total.shed(), 32);
+  // Latency histograms hold served successes only.
+  EXPECT_EQ(report->total.latency.count(),
+            served - report->total.errors - report->total.infs);
+  EXPECT_EQ(report->total.queue_delay.count(),
+            report->total.latency.count());
+  // Stack-level and runner-level shed accounting agree.
+  EXPECT_EQ(report->serving.admission.shed(), report->total.shed());
+  EXPECT_EQ(report->has_serving, true);
+}
+
+}  // namespace
+}  // namespace genbase::serving

@@ -72,6 +72,64 @@ TEST(LatencyHistogramTest, ExtremePercentilesAreExact) {
   EXPECT_DOUBLE_EQ(h.Percentile(0), 0.001);
 }
 
+TEST(LatencyHistogramTest, SingleSampleIsExactAtEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(0.0375);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 0.0375) << p;
+  }
+}
+
+TEST(LatencyHistogramTest, ValuesAtTheMicrosecondFloorAreExact) {
+  // 1us is the bottom of the tracked range; values at (and below) it land
+  // in the clamp bucket but min/max/percentile extremes stay exact.
+  LatencyHistogram h;
+  h.Record(1e-6);
+  h.Record(1e-6);
+  h.Record(5e-7);  // Below the floor: clamps, never crashes.
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.min(), 5e-7);
+  EXPECT_DOUBLE_EQ(h.max(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 5e-7);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1e-6);
+  // Mid percentiles resolve within the clamp bucket, bounded by min/max.
+  EXPECT_GE(h.Percentile(50), h.min());
+  EXPECT_LE(h.Percentile(50), h.max());
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmptyMatchesSource) {
+  LatencyHistogram empty, filled;
+  filled.Record(0.002);
+  filled.Record(0.2);
+  filled.Record(0.02);
+  empty.Merge(filled);
+  EXPECT_EQ(empty.count(), filled.count());
+  EXPECT_DOUBLE_EQ(empty.sum(), filled.sum());
+  EXPECT_DOUBLE_EQ(empty.min(), filled.min());
+  EXPECT_DOUBLE_EQ(empty.max(), filled.max());
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(empty.Percentile(p), filled.Percentile(p)) << p;
+  }
+  // Merging an empty histogram in is a no-op.
+  LatencyHistogram still_empty;
+  empty.Merge(still_empty);
+  EXPECT_EQ(empty.count(), 3);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.2);
+}
+
+TEST(LatencyHistogramTest, MergedHistogramKeepsExactExtremes) {
+  // p0/p100 of a merged histogram are the cross-source min/max even when
+  // those values sit away from their buckets' midpoints.
+  LatencyHistogram a, b;
+  a.Record(0.0011);
+  a.Record(0.47);
+  b.Record(0.98);
+  b.Record(0.003);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Percentile(0), 0.0011);
+  EXPECT_DOUBLE_EQ(a.Percentile(100), 0.98);
+}
+
 TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
   LatencyHistogram a, b, combined;
   for (int i = 1; i <= 100; ++i) {
@@ -106,6 +164,52 @@ TEST(WorkloadSpecTest, ValidateRejectsBadSpecs) {
   spec = WorkloadSpec();
   spec.mix = {{core::QueryId::kRegression, -1.0}};
   EXPECT_FALSE(spec.Validate().ok());
+  spec = WorkloadSpec();
+  spec.param_variants = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, VariantParamsAreDeterministicMildAndDistinct) {
+  const core::QueryParams base;
+  // Variant 0 is the base itself.
+  const core::QueryParams v0 = VariantParams(base, 0);
+  EXPECT_EQ(v0.function_threshold, base.function_threshold);
+  EXPECT_DOUBLE_EQ(v0.covariance_quantile, base.covariance_quantile);
+  // Same variant twice -> same params; adjacent variants differ.
+  const core::QueryParams a = VariantParams(base, 3);
+  const core::QueryParams b = VariantParams(base, 3);
+  EXPECT_EQ(a.function_threshold, b.function_threshold);
+  EXPECT_EQ(a.max_age, b.max_age);
+  const core::QueryParams c = VariantParams(base, 4);
+  EXPECT_TRUE(a.function_threshold != c.function_threshold ||
+              a.covariance_quantile != c.covariance_quantile ||
+              a.max_age != c.max_age || a.svd_rank != c.svd_rank);
+  // Every variant stays in ranges valid at tiny test scales.
+  for (int v = 0; v < 64; ++v) {
+    const core::QueryParams p = VariantParams(base, v);
+    EXPECT_GE(p.function_threshold, 64) << v;
+    EXPECT_GE(p.covariance_quantile, 0.5) << v;
+    EXPECT_LE(p.covariance_quantile, 0.99) << v;
+    EXPECT_GE(p.svd_rank, 2) << v;
+    EXPECT_GE(p.max_age, base.max_age) << v;
+  }
+}
+
+TEST(WorkloadSpecTest, ScheduleDrawsVariantsAcrossTheRange) {
+  WorkloadSpec spec;
+  spec.param_variants = 4;
+  spec.measured_ops = 2000;
+  const auto schedule = BuildSchedule(spec);
+  std::map<int, int> counts;
+  for (const auto& op : schedule) {
+    ASSERT_GE(op.variant, 0);
+    ASSERT_LT(op.variant, 4);
+    ++counts[op.variant];
+  }
+  EXPECT_EQ(counts.size(), 4u);  // All variants appear.
+  // Default of one variant pins everything to variant 0.
+  spec.param_variants = 1;
+  for (const auto& op : BuildSchedule(spec)) EXPECT_EQ(op.variant, 0);
 }
 
 TEST(WorkloadSpecTest, ScheduleIsDeterministic) {
@@ -300,6 +404,37 @@ TEST(WorkloadRunnerTest, OpenLoopPoissonSmoke) {
   EXPECT_EQ(report->total.ops, 16);
   EXPECT_EQ(report->total.errors, 0);
   EXPECT_EQ(report->total.verify_failures, 0);
+  EXPECT_DOUBLE_EQ(report->offered_qps, 500);
+}
+
+TEST(WorkloadRunnerTest, OpenLoopLatencyIsCoordinatedOmissionCorrected) {
+  // Arrivals far outpace 2 clients: ops issue behind schedule, and the
+  // honest latency of a late op runs from its *scheduled* arrival. The
+  // queueing share (dispatch lag) is recorded in its own histogram, so
+  // latency >= queue delay sample-for-sample (service time is the rest).
+  auto engine = engine::CreateSciDb();
+  auto spec = SmokeSpec();
+  spec.model = ClientModel::kOpenLoopUniform;
+  spec.arrival_rate_qps = 4000;
+  spec.clients = 2;
+  spec.measured_ops = 24;
+  spec.warmup_ops = 0;
+  WorkloadRunner runner(spec);
+  auto report = runner.Run(engine.get(), TinyData());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->total.ops, 24);
+  ASSERT_EQ(report->total.errors, 0);
+  // Every served success has both a latency and a queue-delay sample.
+  EXPECT_EQ(report->total.queue_delay.count(),
+            report->total.latency.count());
+  // With 24 ops scheduled inside 6ms against 2 clients, the backlog is
+  // real: queueing delay must have been observed...
+  EXPECT_GT(report->total.queue_delay.max(), 0.0);
+  // ...and CO-corrected latency dominates both of its components.
+  EXPECT_GE(report->total.latency.max(),
+            report->total.queue_delay.max());
+  EXPECT_GE(report->total.latency.sum(),
+            report->total.queue_delay.sum());
 }
 
 }  // namespace
