@@ -91,8 +91,8 @@ ClusterEngine::ClusterEngine(ClusterEngineOptions options)
   GENBASE_CHECK(options_.nodes >= 1);
 }
 
-genbase::Status ClusterEngine::LoadDataset(const core::GenBaseData& data) {
-  UnloadDataset();
+genbase::Status ClusterEngine::DoLoadDataset(const core::GenBaseData& data) {
+  DoUnloadDataset();
   dims_ = data.dims;
   const std::vector<RowRange> ranges =
       PartitionRows(dims_.patients, options_.nodes);
@@ -136,7 +136,7 @@ genbase::Status ClusterEngine::LoadDataset(const core::GenBaseData& data) {
   return genbase::Status::OK();
 }
 
-void ClusterEngine::UnloadDataset() {
+void ClusterEngine::DoUnloadDataset() {
   node_data_.clear();
   tracker_.Reset();
   loaded_ = false;

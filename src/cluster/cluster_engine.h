@@ -66,8 +66,11 @@ class ClusterEngine : public core::Engine {
     return true;
   }
 
-  genbase::Status LoadDataset(const core::GenBaseData& data) override;
-  void UnloadDataset() override;
+ protected:
+  genbase::Status DoLoadDataset(const core::GenBaseData& data) override;
+  void DoUnloadDataset() override;
+
+ public:
   void PrepareContext(ExecContext* ctx) override;
 
   genbase::Result<core::QueryResult> RunQuery(core::QueryId query,

@@ -1,6 +1,8 @@
 #ifndef GENBASE_CORE_ENGINE_H_
 #define GENBASE_CORE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "common/exec_context.h"
@@ -36,8 +38,32 @@ class Engine {
     return true;
   }
 
-  virtual genbase::Status LoadDataset(const GenBaseData& data) = 0;
-  virtual void UnloadDataset() = 0;
+  /// Loads `data`, advancing the dataset epoch first. Non-virtual on
+  /// purpose: the epoch bump is the serving tier's cache-invalidation
+  /// signal, and routing every load through here means no engine can forget
+  /// it. A failed load still advances the epoch — the previous dataset was
+  /// already torn down, so cached results keyed under the old epoch must not
+  /// be served either way.
+  genbase::Status LoadDataset(const GenBaseData& data) {
+    dataset_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    return DoLoadDataset(data);
+  }
+
+  void UnloadDataset() {
+    dataset_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    DoUnloadDataset();
+  }
+
+  /// Monotone change counter of the loaded dataset: 0 before the first
+  /// load, advanced by every LoadDataset/UnloadDataset (including failed
+  /// loads — the old data is gone either way). An unchanged epoch across a
+  /// query run proves the engine's data was not swapped underneath it; the
+  /// serving tier's ShardRouter uses exactly that as its swap-under-op
+  /// tripwire, and builds its fleet-wide cache generations (successful
+  /// loads only) on top of this signal.
+  uint64_t dataset_epoch() const {
+    return dataset_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Installs the engine's memory budget / thread pool into the context.
   virtual void PrepareContext(ExecContext* ctx) = 0;
@@ -45,6 +71,14 @@ class Engine {
   virtual genbase::Result<QueryResult> RunQuery(QueryId query,
                                                 const QueryParams& params,
                                                 ExecContext* ctx) = 0;
+
+ protected:
+  /// Engine-specific ingest/teardown behind the epoch-bumping public pair.
+  virtual genbase::Status DoLoadDataset(const GenBaseData& data) = 0;
+  virtual void DoUnloadDataset() = 0;
+
+ private:
+  std::atomic<uint64_t> dataset_epoch_{0};
 };
 
 }  // namespace genbase::core

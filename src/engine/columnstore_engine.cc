@@ -8,16 +8,16 @@ ColumnStoreEngine::ColumnStoreEngine(ColumnStoreAnalytics analytics)
     : analytics_(analytics),
       tracker_(MemoryTracker::kUnlimited, "ColumnStore") {}
 
-genbase::Status ColumnStoreEngine::LoadDataset(
+genbase::Status ColumnStoreEngine::DoLoadDataset(
     const core::GenBaseData& data) {
-  UnloadDataset();
+  DoUnloadDataset();
   auto tables = std::make_unique<ColumnarTables>();
   GENBASE_RETURN_NOT_OK(LoadColumnarTables(data, &tracker_, tables.get()));
   tables_ = std::move(tables);
   return genbase::Status::OK();
 }
 
-void ColumnStoreEngine::UnloadDataset() {
+void ColumnStoreEngine::DoUnloadDataset() {
   tables_.reset();
   tracker_.Reset();
 }

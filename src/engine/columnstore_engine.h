@@ -35,8 +35,11 @@ class ColumnStoreEngine : public core::Engine {
                : "Column store + UDFs";
   }
 
-  genbase::Status LoadDataset(const core::GenBaseData& data) override;
-  void UnloadDataset() override;
+ protected:
+  genbase::Status DoLoadDataset(const core::GenBaseData& data) override;
+  void DoUnloadDataset() override;
+
+ public:
   void PrepareContext(ExecContext* ctx) override;
 
   genbase::Result<core::QueryResult> RunQuery(core::QueryId query,

@@ -39,8 +39,8 @@ void ChargeJobStartup(ExecContext* ctx, Phase phase) {
 HadoopEngine::HadoopEngine()
     : tracker_(MemoryTracker::kUnlimited, "Hadoop") {}
 
-genbase::Status HadoopEngine::LoadDataset(const core::GenBaseData& data) {
-  UnloadDataset();
+genbase::Status HadoopEngine::DoLoadDataset(const core::GenBaseData& data) {
+  DoUnloadDataset();
   auto hdfs = std::make_unique<Hdfs>();
   hdfs->dims = data.dims;
 
@@ -97,7 +97,7 @@ genbase::Status HadoopEngine::LoadDataset(const core::GenBaseData& data) {
   return genbase::Status::OK();
 }
 
-void HadoopEngine::UnloadDataset() {
+void HadoopEngine::DoUnloadDataset() {
   hdfs_.reset();
   tracker_.Reset();
 }

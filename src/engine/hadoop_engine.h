@@ -37,8 +37,11 @@ class HadoopEngine : public core::Engine {
            query == core::QueryId::kSvd;
   }
 
-  genbase::Status LoadDataset(const core::GenBaseData& data) override;
-  void UnloadDataset() override;
+ protected:
+  genbase::Status DoLoadDataset(const core::GenBaseData& data) override;
+  void DoUnloadDataset() override;
+
+ public:
   void PrepareContext(ExecContext* ctx) override;
 
   genbase::Result<core::QueryResult> RunQuery(core::QueryId query,

@@ -69,8 +69,8 @@ PostgresEngine::PostgresEngine(PostgresAnalytics analytics)
     : analytics_(analytics),
       tracker_(MemoryTracker::kUnlimited, "Postgres") {}
 
-genbase::Status PostgresEngine::LoadDataset(const core::GenBaseData& data) {
-  UnloadDataset();
+genbase::Status PostgresEngine::DoLoadDataset(const core::GenBaseData& data) {
+  DoUnloadDataset();
   auto tables = std::make_unique<Tables>(&tracker_);
   tables->dims = data.dims;
   GENBASE_RETURN_NOT_OK(LoadRowTable(data.microarray, &tables->microarray));
@@ -81,7 +81,7 @@ genbase::Status PostgresEngine::LoadDataset(const core::GenBaseData& data) {
   return genbase::Status::OK();
 }
 
-void PostgresEngine::UnloadDataset() {
+void PostgresEngine::DoUnloadDataset() {
   tables_.reset();
   tracker_.Reset();
 }

@@ -46,8 +46,11 @@ class PostgresEngine : public core::Engine {
              query == core::QueryId::kBiclustering);
   }
 
-  genbase::Status LoadDataset(const core::GenBaseData& data) override;
-  void UnloadDataset() override;
+ protected:
+  genbase::Status DoLoadDataset(const core::GenBaseData& data) override;
+  void DoUnloadDataset() override;
+
+ public:
   void PrepareContext(ExecContext* ctx) override;
 
   genbase::Result<core::QueryResult> RunQuery(core::QueryId query,

@@ -23,8 +23,8 @@ int64_t RBudgetBytes() {
 
 VanillaREngine::VanillaREngine() : tracker_(RBudgetBytes(), "R") {}
 
-genbase::Status VanillaREngine::LoadDataset(const core::GenBaseData& data) {
-  UnloadDataset();
+genbase::Status VanillaREngine::DoLoadDataset(const core::GenBaseData& data) {
+  DoUnloadDataset();
   // R 3.0.x hard limit: no single vector may exceed 2^31 - 1 cells. The
   // microarray data frame holds one vector per column of `cells` length.
   const auto& config = core::SimConfig::Get();
@@ -39,7 +39,7 @@ genbase::Status VanillaREngine::LoadDataset(const core::GenBaseData& data) {
   return genbase::Status::OK();
 }
 
-void VanillaREngine::UnloadDataset() {
+void VanillaREngine::DoUnloadDataset() {
   tables_.reset();
   tracker_.Reset();
 }

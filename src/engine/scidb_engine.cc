@@ -18,8 +18,8 @@ using storage::Value;
 
 SciDbEngine::SciDbEngine() : tracker_(MemoryTracker::kUnlimited, "SciDB") {}
 
-genbase::Status SciDbEngine::LoadDataset(const core::GenBaseData& data) {
-  UnloadDataset();
+genbase::Status SciDbEngine::DoLoadDataset(const core::GenBaseData& data) {
+  DoUnloadDataset();
   GENBASE_ASSIGN_OR_RETURN(
       expression_,
       storage::ChunkedArray2D::Create(data.dims.patients, data.dims.genes,
@@ -40,7 +40,7 @@ genbase::Status SciDbEngine::LoadDataset(const core::GenBaseData& data) {
   return genbase::Status::OK();
 }
 
-void SciDbEngine::UnloadDataset() {
+void SciDbEngine::DoUnloadDataset() {
   expression_ = storage::ChunkedArray2D();
   meta_.reset();
   tracker_.Reset();

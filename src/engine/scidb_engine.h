@@ -40,8 +40,11 @@ class SciDbEngine : public core::Engine {
 
   void set_offload(const AnalyticsOffload* offload) { offload_ = offload; }
 
-  genbase::Status LoadDataset(const core::GenBaseData& data) override;
-  void UnloadDataset() override;
+ protected:
+  genbase::Status DoLoadDataset(const core::GenBaseData& data) override;
+  void DoUnloadDataset() override;
+
+ public:
   void PrepareContext(ExecContext* ctx) override;
 
   genbase::Result<core::QueryResult> RunQuery(core::QueryId query,

@@ -1,6 +1,7 @@
 #include "serving/admission.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/timer.h"
 
@@ -18,13 +19,85 @@ const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
   return "?";
 }
 
+int AdaptiveNextLimit(const AdmissionOptions& options, int current_limit,
+                      double mean_service_s, double queue_len_ewma,
+                      int64_t shed_pressure) {
+  const int lo = std::max(1, options.min_inflight);
+  const int hi = std::max(lo, options.max_inflight_cap);
+  if (mean_service_s <= 0) return std::clamp(current_limit, lo, hi);
+  // Little's law target: enough slots that the observed backlog drains
+  // within the target delay.
+  const double needed = queue_len_ewma * mean_service_s /
+                        std::max(options.target_queue_delay_s, 1e-9);
+  const int wanted = static_cast<int>(std::ceil(needed));
+  // Move at most a quarter of the current limit per step: the inputs are
+  // EWMAs of a bursty process, and chasing them at full stride oscillates.
+  const int step = std::max(1, current_limit / 4);
+  int next = current_limit;
+  if (wanted > current_limit) {
+    next = current_limit + std::min(step, wanted - current_limit);
+  } else if (wanted < current_limit) {
+    next = current_limit - std::min(step, current_limit - wanted);
+  }
+  // Arrivals shed queue-full mean demand beyond what the limit-scaled
+  // queue can even show the delay term: do not shrink into known
+  // shedding, probe up instead.
+  if (shed_pressure > 0) next = std::max(next, current_limit + 1);
+  return std::clamp(next, lo, hi);
+}
+
 AdmissionController::AdmissionController(AdmissionOptions options)
-    : options_(options) {}
+    : options_(options),
+      // Adaptive mode starts low and probes up: under-admitting briefly at
+      // startup only queues work, while over-admitting puts every service
+      // time past target before the first adjustment can react.
+      limit_(options.adaptive ? std::max(1, options.min_inflight)
+                              : options.max_inflight) {
+  counters_.current_limit = limit_;
+}
+
+bool AdmissionController::IsHeavyLocked(int class_id) const {
+  if (!options_.adaptive) return false;
+  // Classification needs evidence: the class itself and a cheapest peer
+  // must both have settled EWMAs, otherwise everything is (optimistically)
+  // cheap and the first runs teach the model.
+  constexpr int64_t kMinCompletions = 3;
+  auto it = classes_.find(class_id);
+  if (it == classes_.end() || it->second.completions < kMinCompletions) {
+    return false;
+  }
+  double min_ewma = 0.0;
+  bool have_min = false;
+  for (const auto& [id, stat] : classes_) {
+    if (id == class_id || stat.completions < kMinCompletions) continue;
+    if (!have_min || stat.service_ewma_s < min_ewma) {
+      min_ewma = stat.service_ewma_s;
+      have_min = true;
+    }
+  }
+  return have_min && min_ewma > 0 &&
+         it->second.service_ewma_s > options_.heavy_service_factor * min_ewma;
+}
+
+int AdmissionController::HeavyCapLocked() const {
+  return std::max(1, static_cast<int>(limit_ * options_.heavy_share));
+}
+
+int AdmissionController::MaxQueueLocked() const {
+  if (options_.max_queue > 0) return options_.max_queue;
+  return options_.adaptive ? 2 * limit_ : 0;
+}
+
+bool AdmissionController::CanStartLocked(bool heavy) const {
+  if (inflight_ >= limit_) return false;
+  return !heavy || heavy_inflight_ < HeavyCapLocked();
+}
 
 AdmissionOutcome AdmissionController::Admit(
     std::optional<std::chrono::steady_clock::time_point> start_deadline,
-    double* waited_s) {
+    double* waited_s, int class_id, bool* admitted_heavy) {
   if (waited_s != nullptr) *waited_s = 0.0;
+  if (admitted_heavy != nullptr) *admitted_heavy = false;
   if (!enabled()) return AdmissionOutcome::kAdmitted;
 
   const auto expired = [&start_deadline] {
@@ -34,6 +107,9 @@ AdmissionOutcome AdmissionController::Admit(
 
   WallTimer timer;
   std::unique_lock<std::mutex> lock(mu_);
+  // Backlog sample for the target-delay controller: the queue depth this
+  // arrival finds ahead of it.
+  queue_ewma_ += options_.ewma_alpha * (waiting_ - queue_ewma_);
   // A stale arrival is shed outright — free slot or not. The deadline
   // models the instant the op's client gave up; executing past it would be
   // wasted work counted as goodput.
@@ -41,14 +117,19 @@ AdmissionOutcome AdmissionController::Admit(
     ++counters_.shed_timeout;
     return AdmissionOutcome::kShedTimeout;
   }
-  if (inflight_ >= options_.max_inflight) {
-    if (waiting_ >= options_.max_queue) {
+  // Heaviness is decided on arrival and kept for this op's whole admission
+  // (slot accounting must be symmetric with Release even if the class is
+  // reclassified mid-wait).
+  const bool heavy = IsHeavyLocked(class_id);
+  if (!CanStartLocked(heavy)) {
+    if (waiting_ >= MaxQueueLocked()) {
       ++counters_.shed_queue_full;
+      ++sheds_since_adjust_;
       return AdmissionOutcome::kShedQueueFull;
     }
     ++waiting_;
     counters_.peak_queue = std::max<int64_t>(counters_.peak_queue, waiting_);
-    while (inflight_ >= options_.max_inflight && !expired()) {
+    while (!CanStartLocked(heavy) && !expired()) {
       if (start_deadline.has_value()) {
         slot_free_.wait_until(lock, *start_deadline);
       } else {
@@ -59,34 +140,82 @@ AdmissionOutcome AdmissionController::Admit(
     if (waited_s != nullptr) *waited_s = timer.Seconds();
     // Shed if the start deadline passed in queue — even when a slot freed
     // in the same instant, the client is already gone.
-    if (inflight_ >= options_.max_inflight || expired()) {
+    if (!CanStartLocked(heavy) || expired()) {
       ++counters_.shed_timeout;
       // If this waiter consumed a Release() wakeup and then shed on its own
-      // deadline, the slot is still free — pass the wakeup along so another
-      // waiter is not left sleeping next to idle capacity.
-      const bool slot_free = inflight_ < options_.max_inflight;
+      // deadline, capacity may still be free — pass the wakeup along so
+      // another waiter is not left sleeping next to idle capacity.
+      const bool capacity_free = inflight_ < limit_;
       lock.unlock();
-      if (slot_free) slot_free_.notify_one();
+      if (capacity_free) slot_free_.notify_all();
       return AdmissionOutcome::kShedTimeout;
     }
   }
   ++inflight_;
+  if (heavy) ++heavy_inflight_;
+  if (admitted_heavy != nullptr) *admitted_heavy = heavy;
   ++counters_.admitted;
   return AdmissionOutcome::kAdmitted;
 }
 
-void AdmissionController::Release() {
+void AdmissionController::Release(int class_id, double service_s,
+                                  bool was_heavy) {
   if (!enabled()) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_;
+    if (was_heavy) --heavy_inflight_;
+    if (service_s >= 0) {
+      ClassStat& stat = classes_[class_id];
+      stat.service_ewma_s = stat.completions == 0
+                                ? service_s
+                                : stat.service_ewma_s +
+                                      options_.ewma_alpha *
+                                          (service_s - stat.service_ewma_s);
+      ++stat.completions;
+      service_ewma_s_ = service_samples_ == 0
+                            ? service_s
+                            : service_ewma_s_ +
+                                  options_.ewma_alpha *
+                                      (service_s - service_ewma_s_);
+      ++service_samples_;
+    }
+    if (options_.adaptive &&
+        ++completions_since_adjust_ >= std::max(1, options_.adjust_interval)) {
+      completions_since_adjust_ = 0;
+      limit_ = AdaptiveNextLimit(options_, limit_, service_ewma_s_,
+                                 queue_ewma_, sheds_since_adjust_);
+      sheds_since_adjust_ = 0;
+      counters_.current_limit = limit_;
+    }
   }
-  slot_free_.notify_one();
+  // notify_all, not notify_one: with per-class slot shares, the runnable
+  // waiter is not necessarily the one a single wakeup lands on (a heavy
+  // waiter may still be capped while a cheap one could start).
+  slot_free_.notify_all();
 }
 
 AdmissionStats AdmissionController::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  AdmissionStats s = counters_;
+  s.current_limit = limit_;
+  return s;
+}
+
+int AdmissionController::current_limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limit_;
+}
+
+bool AdmissionController::IsHeavyClass(int class_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IsHeavyLocked(class_id);
+}
+
+double AdmissionController::ClassServiceEwma(int class_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(class_id);
+  return it == classes_.end() ? 0.0 : it->second.service_ewma_s;
 }
 
 }  // namespace genbase::serving

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 
@@ -11,20 +12,52 @@
 
 namespace genbase::serving {
 
-/// \brief Bounded-queue admission policy. Defaults leave admission disabled
-/// (everything admitted instantly), so a stack can be configured as a pure
-/// cache/router.
+/// \brief Admission policy. Defaults leave admission disabled (everything
+/// admitted instantly), so a stack can be configured as a pure cache/router.
+///
+/// Two modes:
+///  * Static: `max_inflight` > 0 fixes the concurrency limit.
+///  * Adaptive (`adaptive` = true): the limit is derived at runtime from
+///    observed service times by a target-delay controller — it tracks the
+///    slot count at which the measured backlog drains within
+///    `target_queue_delay_s` (see AdaptiveNextLimit) — and per-query-class
+///    service-time EWMAs classify operations as cheap or heavy. Heavy classes (observed mean
+///    service > `heavy_service_factor` x the cheapest class) may hold at
+///    most `heavy_share` of the execution slots, so a burst of biclustering
+///    runs can saturate its share while cheap lookups still find a slot
+///    instead of being shed behind it.
 struct AdmissionOptions {
-  /// Operations allowed to execute concurrently. <= 0 disables admission
-  /// control entirely.
+  /// Static mode: operations allowed to execute concurrently. <= 0 disables
+  /// admission control unless `adaptive` is set.
   int max_inflight = 0;
   /// Operations allowed to wait for an execution slot. An arrival finding
-  /// the queue full is shed immediately (load shedding, not queueing).
+  /// the queue full is shed immediately (load shedding, not queueing). In
+  /// adaptive mode, <= 0 means "2x the current limit" so queue depth scales
+  /// with the controller instead of needing its own tuning.
   int max_queue = 0;
   /// Deadline-based shedding: an operation that cannot *start* executing
   /// within this many seconds of its scheduled arrival is shed, because by
   /// then its client has given up. <= 0 means wait indefinitely.
   double max_queue_delay_s = 0.0;
+
+  /// --- adaptive target-delay controller ----------------------------------
+  bool adaptive = false;
+  /// Expected slot-wait the controller steers toward: the limit tracks
+  /// ceil(observed backlog x observed mean service / this target), so
+  /// concurrency is derived from measured service times instead of being
+  /// hand-tuned per engine.
+  double target_queue_delay_s = 0.05;
+  int min_inflight = 1;
+  int max_inflight_cap = 64;
+  /// Completed operations between limit adjustments.
+  int adjust_interval = 16;
+  /// A class is heavy when its service EWMA exceeds this factor times the
+  /// cheapest observed class's EWMA.
+  double heavy_service_factor = 4.0;
+  /// Share of the current limit heavy-class ops may occupy (floor 1 slot).
+  double heavy_share = 0.5;
+  /// EWMA smoothing for service times and queue waits.
+  double ewma_alpha = 0.2;
 };
 
 enum class AdmissionOutcome {
@@ -35,11 +68,33 @@ enum class AdmissionOutcome {
 
 const char* AdmissionOutcomeName(AdmissionOutcome outcome);
 
+/// Pure adjustment step of the adaptive controller, exposed so its
+/// convergence can be tested without timing. Little's law: a backlog of
+/// `queue_len_ewma` ops with mean service `mean_service_s` drains through c
+/// slots in ~queue * service / c seconds, so the limit that holds the
+/// expected slot-wait at the target is ceil(queue * service / target). The
+/// step moves at most a quarter of the current limit toward that point
+/// (smoothing against EWMA noise) and clamps to [min_inflight,
+/// max_inflight_cap].
+///
+/// `shed_pressure` — queue-full sheds observed since the last adjustment —
+/// is the demand signal the delay math cannot see: the adaptive queue
+/// bound scales with the limit (2x), so the observable backlog is capped
+/// at 2 * limit and, for services much faster than the target delay, the
+/// Little's-law term alone would pin a small limit forever while arrivals
+/// are shed. Shed pressure vetoes shrinking and probes the limit up by
+/// one instead; when the delay term itself calls for growth, growth
+/// proceeds as usual.
+int AdaptiveNextLimit(const AdmissionOptions& options, int current_limit,
+                      double mean_service_s, double queue_len_ewma,
+                      int64_t shed_pressure = 0);
+
 /// \brief Bounded admission queue in front of the shard engines: at most
-/// `max_inflight` operations execute at once, at most `max_queue` wait, and
-/// waiters give up at their start deadline. Shedding on arrival (queue full)
-/// and in queue (deadline) are counted separately so a report can say *why*
-/// goodput fell short of offered load.
+/// `limit` operations execute at once (fixed or adaptive, see
+/// AdmissionOptions), at most the queue bound wait, and waiters give up at
+/// their start deadline. Shedding on arrival (queue full) and in queue
+/// (deadline) are counted separately so a report can say *why* goodput fell
+/// short of offered load.
 ///
 /// Mutex + condvar rather than atomics: admissions happen at operation
 /// granularity (milliseconds+), never in a hot loop.
@@ -48,26 +103,64 @@ class AdmissionController {
   explicit AdmissionController(AdmissionOptions options);
 
   /// Blocks until an execution slot is granted, the queue rejects the
-  /// arrival, or `start_deadline` passes. `waited_s` (optional) receives the
-  /// time spent queued. Callers must Release() after kAdmitted only.
+  /// arrival, or `start_deadline` passes. `waited_s` (optional) receives
+  /// the time spent queued. `class_id` groups operations for the adaptive
+  /// service-time model (the serving stack passes the query id); callers of
+  /// the static mode can ignore it. `admitted_heavy` (optional) reports
+  /// whether the op was counted against the heavy-class slot share — pass
+  /// it back to Release so the share is credited correctly even if the
+  /// class's classification changes while the op runs. Callers must
+  /// Release() after kAdmitted only.
   AdmissionOutcome Admit(
       std::optional<std::chrono::steady_clock::time_point> start_deadline,
-      double* waited_s = nullptr);
+      double* waited_s = nullptr, int class_id = 0,
+      bool* admitted_heavy = nullptr);
 
-  /// Returns an execution slot and wakes one waiter.
-  void Release();
+  /// Returns an execution slot and wakes waiters. `service_s` (>= 0) feeds
+  /// the class's service-time EWMA; pass a negative value when the op did
+  /// not really execute. `was_heavy` must echo Admit's `admitted_heavy`.
+  void Release(int class_id = 0, double service_s = -1.0,
+               bool was_heavy = false);
 
-  bool enabled() const { return options_.max_inflight > 0; }
+  bool enabled() const {
+    return options_.max_inflight > 0 || options_.adaptive;
+  }
   const AdmissionOptions& options() const { return options_; }
   AdmissionStats stats() const;
 
+  /// Current concurrency limit (fixed in static mode; the controller's live
+  /// value in adaptive mode).
+  int current_limit() const;
+  /// Whether `class_id` currently classifies as heavy.
+  bool IsHeavyClass(int class_id) const;
+  /// Observed service-time EWMA for `class_id` (0 if never completed).
+  double ClassServiceEwma(int class_id) const;
+
  private:
+  struct ClassStat {
+    double service_ewma_s = 0.0;
+    int64_t completions = 0;
+  };
+
+  bool IsHeavyLocked(int class_id) const;
+  bool CanStartLocked(bool heavy) const;
+  int HeavyCapLocked() const;
+  int MaxQueueLocked() const;
+
   const AdmissionOptions options_;
 
   mutable std::mutex mu_;
   std::condition_variable slot_free_;
+  int limit_;
   int inflight_ = 0;
+  int heavy_inflight_ = 0;
   int waiting_ = 0;
+  double service_ewma_s_ = 0.0;  ///< Mean service across classes.
+  int64_t service_samples_ = 0;
+  double queue_ewma_ = 0.0;      ///< Mean queue depth seen by arrivals.
+  int completions_since_adjust_ = 0;
+  int64_t sheds_since_adjust_ = 0;  ///< Queue-full sheds (demand signal).
+  std::map<int, ClassStat> classes_;
   AdmissionStats counters_;
 };
 

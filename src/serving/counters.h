@@ -10,13 +10,23 @@ namespace genbase::serving {
 /// header (no engine/cluster/cache machinery) so WorkloadReport can embed
 /// them without the workload layer depending on the full serving stack.
 
-/// \brief Result-cache counters. hits/misses/insertions/evictions are
-/// cumulative; entries/bytes are current gauges.
+/// \brief Result-cache counters. hits/misses/insertions/evictions/
+/// invalidated/rejected_oversize are cumulative; entries/bytes are current
+/// gauges. Removal accounting is complete by construction: every entry that
+/// ever entered the cache leaves through exactly one of evictions (LRU/byte
+/// pressure) or invalidated (Clear / epoch invalidation), so
+/// `entries == insertions - evictions - invalidated` always reconciles.
 struct CacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t insertions = 0;
   int64_t evictions = 0;
+  /// Entries removed by Clear() or epoch invalidation (dataset reload) —
+  /// not capacity pressure, so counted apart from evictions.
+  int64_t invalidated = 0;
+  /// Insert calls dropped because the value alone exceeds max_bytes. These
+  /// never became entries, so they are outside the reconciliation above.
+  int64_t rejected_oversize = 0;
   int64_t entries = 0;
   int64_t bytes = 0;
 
@@ -26,14 +36,29 @@ struct CacheStats {
   }
 };
 
-/// \brief Admission counters. peak_queue is a high-water gauge.
+/// \brief Admission counters. peak_queue is a high-water gauge;
+/// current_limit is the live max-inflight gauge (fixed for static
+/// configurations, moving under the adaptive target-delay controller).
 struct AdmissionStats {
   int64_t admitted = 0;
   int64_t shed_queue_full = 0;
   int64_t shed_timeout = 0;
   int64_t peak_queue = 0;
+  int64_t current_limit = 0;
 
   int64_t shed() const { return shed_queue_full + shed_timeout; }
+};
+
+/// \brief Single-flight (miss-coalescing) counters. The first miss on a key
+/// becomes the flight's leader and executes; concurrent misses on the same
+/// key become followers that wait for the leader's result instead of
+/// stampeding the engines.
+struct SingleFlightStats {
+  int64_t leaders = 0;            ///< Flights opened (first miss per key).
+  int64_t coalesced = 0;          ///< Followers that joined an open flight.
+  int64_t coalesced_served = 0;   ///< Followers served the leader's result.
+  int64_t follower_fallbacks = 0; ///< Leader failed; follower executed solo.
+  int64_t shed_wait_timeout = 0;  ///< Followers shed at their start deadline.
 };
 
 /// \brief Per-shard serving statistics, merged into the stack's counters
@@ -50,7 +75,16 @@ struct ShardStats {
 struct ServingCounters {
   CacheStats cache;
   AdmissionStats admission;
+  SingleFlightStats flight;
   std::vector<ShardStats> shards;
+  /// Serves whose result came from a different dataset epoch than the one
+  /// current when the op entered the stack. Epoch-keyed caching makes this
+  /// impossible by construction, so the counter is a live tripwire: any
+  /// nonzero value means the invalidation machinery is broken, and the churn
+  /// figure (bench/fig8) gates its exit code on it staying zero.
+  int64_t stale_hits = 0;
+  /// Completed ServingStack::ReloadDataset calls (cumulative).
+  int64_t reloads = 0;
 };
 
 /// Counter delta `now - since` (cumulative counters subtract; gauges —

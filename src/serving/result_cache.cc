@@ -23,6 +23,16 @@ uint64_t MixDouble(uint64_t h, double d) {
 
 }  // namespace
 
+// Tripwire: FingerprintParams must mix EVERY field of QueryParams — a field
+// it misses would make two different parameter sets share a cache key and
+// silently poison served results. sizeof cannot catch a same-size type swap,
+// but any added/removed/resized field changes it, which is the drift that
+// actually happens. If this fires, extend the mix list below, then update
+// the expected size. (LP64: 6 x int64/double + 2 x int32 + 2 x double = 72.)
+static_assert(sizeof(core::QueryParams) == 72,
+              "QueryParams changed: update FingerprintParams' mix list and "
+              "this tripwire together");
+
 uint64_t FingerprintParams(const core::QueryParams& params) {
   uint64_t h = SeedFromTag("serving/params");
   h = MixInto(h, static_cast<uint64_t>(params.function_threshold));
@@ -42,8 +52,23 @@ size_t CacheKeyHash::operator()(const CacheKey& k) const {
   uint64_t h = MixInto(k.params_fingerprint,
                        static_cast<uint64_t>(k.query) * 131 +
                            static_cast<uint64_t>(k.size));
+  h = MixInto(h, k.epoch);
   return static_cast<size_t>(h);
 }
+
+// Tripwire: ApproxResultBytes must count every dynamically sized member of
+// QueryResult, or max_bytes eviction and the modeled reply transfer both
+// undercount. Audit of the five summaries as of this size:
+//   regression: coef_head vector        -> counted below
+//   covariance: flat (counts/checksums) -> inside sizeof(QueryResult)
+//   bicluster:  biclusters vector       -> counted below
+//   svd:        singular_values vector  -> counted below
+//   stats:      flat (counts/z-sum)     -> inside sizeof(QueryResult)
+// Any new member changes sizeof(QueryResult); if it fires, re-audit the
+// list, add any new dynamic storage, then update the expected size.
+static_assert(sizeof(core::QueryResult) == 248,
+              "QueryResult changed: re-audit ApproxResultBytes' dynamic "
+              "members and update this tripwire");
 
 int64_t ApproxResultBytes(const core::QueryResult& result) {
   int64_t bytes = static_cast<int64_t>(sizeof(core::QueryResult));
@@ -60,7 +85,8 @@ int64_t ApproxResultBytes(const core::QueryResult& result) {
 ResultCache::ResultCache(int64_t max_entries, int64_t max_bytes)
     : max_entries_(max_entries), max_bytes_(max_bytes) {}
 
-bool ResultCache::Lookup(const CacheKey& key, core::QueryResult* out) {
+bool ResultCache::Lookup(const CacheKey& key, core::QueryResult* out,
+                         uint64_t* entry_epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -69,14 +95,31 @@ bool ResultCache::Lookup(const CacheKey& key, core::QueryResult* out) {
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   if (out != nullptr) *out = it->second->value;
+  if (entry_epoch != nullptr) *entry_epoch = it->second->epoch;
   ++counters_.hits;
+  return true;
+}
+
+bool ResultCache::Peek(const CacheKey& key, core::QueryResult* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (out != nullptr) *out = it->second->value;
   return true;
 }
 
 void ResultCache::Insert(const CacheKey& key, const core::QueryResult& value) {
   const int64_t bytes = ApproxResultBytes(value);
-  if (bytes > max_bytes_ || max_entries_ <= 0) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (max_entries_ <= 0) return;  // Capacity-disabled cache, not oversize.
+  if (bytes > max_bytes_) {
+    // Not silently: an oversize result the cache can never hold is a
+    // configuration signal (max_bytes too small for the workload's replies),
+    // and without the counter insertions/evictions/entries still reconcile,
+    // so the drop would be invisible in any report.
+    ++counters_.rejected_oversize;
+    return;
+  }
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Refresh in place (identical keys imply identical results, but a
@@ -84,9 +127,10 @@ void ResultCache::Insert(const CacheKey& key, const core::QueryResult& value) {
     bytes_ += bytes - it->second->bytes;
     it->second->value = value;
     it->second->bytes = bytes;
+    it->second->epoch = key.epoch;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Entry{key, value, bytes});
+    lru_.push_front(Entry{key, value, bytes, key.epoch});
     index_[key] = lru_.begin();
     bytes_ += bytes;
     ++counters_.insertions;
@@ -105,8 +149,26 @@ void ResultCache::EvictWhileOverLocked() {
   }
 }
 
+int64_t ResultCache::InvalidateEpochsBelow(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t removed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.epoch < epoch) {
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  counters_.invalidated += removed;
+  return removed;
+}
+
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  counters_.invalidated += static_cast<int64_t>(lru_.size());
   lru_.clear();
   index_.clear();
   bytes_ = 0;

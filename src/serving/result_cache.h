@@ -19,16 +19,23 @@ namespace genbase::serving {
 uint64_t FingerprintParams(const core::QueryParams& params);
 
 /// \brief Identity of a cacheable operation: what was asked (query), with
-/// which knobs (params fingerprint), of which dataset (size). Engines are
-/// deterministic given these three, so equal keys imply equal results.
+/// which knobs (params fingerprint), of which dataset (size, epoch).
+/// Engines are deterministic given these, so equal keys imply equal
+/// results. The epoch is the fleet's dataset generation
+/// (ShardRouter::dataset_epoch — successful loads only, underpinned by
+/// core::Engine::dataset_epoch as the per-engine change signal): a reload
+/// advances it, so pre-reload entries can never answer post-reload lookups
+/// — staleness is impossible by key construction, not by a cleanup races
+/// might miss.
 struct CacheKey {
   core::QueryId query = core::QueryId::kRegression;
   uint64_t params_fingerprint = 0;
   core::DatasetSize size = core::DatasetSize::kSmall;
+  uint64_t epoch = 0;
 
   bool operator==(const CacheKey& o) const {
     return query == o.query && params_fingerprint == o.params_fingerprint &&
-           size == o.size;
+           size == o.size && epoch == o.epoch;
   }
 };
 
@@ -51,14 +58,34 @@ class ResultCache {
   ResultCache(int64_t max_entries, int64_t max_bytes);
 
   /// On hit, copies the cached result into `out` (if non-null), refreshes
-  /// recency, and counts a hit; on miss counts a miss.
-  bool Lookup(const CacheKey& key, core::QueryResult* out);
+  /// recency, and counts a hit; on miss counts a miss. `entry_epoch` (if
+  /// non-null) receives the entry's insert-time epoch — a deliberately
+  /// redundant copy kept apart from the key so callers can cross-check that
+  /// epoch keying actually held (the serving stack's stale-hit tripwire).
+  bool Lookup(const CacheKey& key, core::QueryResult* out,
+              uint64_t* entry_epoch = nullptr);
+
+  /// Lookup without side effects: no hit/miss counting, no recency refresh.
+  /// The serving stack's single-flight leader uses it to double-check the
+  /// cache after winning a flight — a previous leader may have published
+  /// between this op's (counted) miss and its flight join, and re-probing
+  /// through Lookup would double-count the op in the hit-ratio stats.
+  bool Peek(const CacheKey& key, core::QueryResult* out) const;
 
   /// Inserts (or refreshes) `key`, then evicts least-recently-used entries
   /// until both bounds hold again. An entry larger than max_bytes on its own
-  /// is not cached.
+  /// is not cached (counted as rejected_oversize).
   void Insert(const CacheKey& key, const core::QueryResult& value);
 
+  /// Removes every entry whose key epoch is below `epoch` (counted as
+  /// invalidated, not evicted) and returns how many were removed. The
+  /// serving stack calls this after a dataset reload: old-epoch entries are
+  /// already unreachable — lookups carry the new epoch — so this is memory
+  /// reclamation plus accounting, not a correctness gate.
+  int64_t InvalidateEpochsBelow(uint64_t epoch);
+
+  /// Drops all entries, counting them as invalidated so the removal
+  /// accounting (insertions - evictions - invalidated == entries) holds.
   void Clear();
 
   CacheStats stats() const;
@@ -68,6 +95,11 @@ class ResultCache {
     CacheKey key;
     core::QueryResult value;
     int64_t bytes = 0;
+    /// Insert-time epoch, duplicated from key.epoch on purpose: Lookup
+    /// hands it back through a path independent of map-key equality, so the
+    /// stale-hit tripwire above the cache tests the keying rather than
+    /// restating it.
+    uint64_t epoch = 0;
   };
 
   void EvictWhileOverLocked();

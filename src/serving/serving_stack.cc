@@ -38,9 +38,18 @@ ServingCounters CountersDelta(const ServingCounters& now,
   d.cache.misses -= since.cache.misses;
   d.cache.insertions -= since.cache.insertions;
   d.cache.evictions -= since.cache.evictions;
+  d.cache.invalidated -= since.cache.invalidated;
+  d.cache.rejected_oversize -= since.cache.rejected_oversize;
   d.admission.admitted -= since.admission.admitted;
   d.admission.shed_queue_full -= since.admission.shed_queue_full;
   d.admission.shed_timeout -= since.admission.shed_timeout;
+  d.flight.leaders -= since.flight.leaders;
+  d.flight.coalesced -= since.flight.coalesced;
+  d.flight.coalesced_served -= since.flight.coalesced_served;
+  d.flight.follower_fallbacks -= since.flight.follower_fallbacks;
+  d.flight.shed_wait_timeout -= since.flight.shed_wait_timeout;
+  d.stale_hits -= since.stale_hits;
+  d.reloads -= since.reloads;
   for (size_t s = 0; s < d.shards.size() && s < since.shards.size(); ++s) {
     d.shards[s].ops -= since.shards[s].ops;
     d.shards[s].errors -= since.shards[s].errors;
@@ -55,7 +64,8 @@ ServingStack::ServingStack(const ServingOptions& options,
     : options_(options),
       cache_(options.cache_max_entries, options.cache_max_bytes),
       admission_(options.admission),
-      router_(std::move(router)) {
+      router_(std::move(router)),
+      epoch_(router_->dataset_epoch()) {
   const auto& c = core::SimConfig::Get();
   net_ = cluster::NetworkModel{c.net_bandwidth_bytes_per_s, c.net_latency_s};
 }
@@ -69,63 +79,200 @@ genbase::Result<std::unique_ptr<ServingStack>> ServingStack::Create(
       new ServingStack(options, std::move(router)));
 }
 
+genbase::Status ServingStack::ReloadDataset(const core::GenBaseData& data) {
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  GENBASE_RETURN_NOT_OK(router_->ReloadShards(data));
+  // Publish the new generation only once every shard serves it: lookups
+  // keyed with the new epoch must never land on a shard still holding the
+  // old data. Ops that read the old epoch before this store stay keyed old
+  // — their results are unreachable after the invalidation below at worst,
+  // never wrongly served.
+  const uint64_t epoch = router_->dataset_epoch();
+  epoch_.store(epoch, std::memory_order_release);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  cache_.InvalidateEpochsBelow(epoch);
+  return genbase::Status::OK();
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+ServingStack::StartDeadline(
+    std::optional<std::chrono::steady_clock::time_point> scheduled_arrival)
+    const {
+  if (!admission_.enabled() || admission_.options().max_queue_delay_s <= 0) {
+    return std::nullopt;
+  }
+  const auto budget =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              admission_.options().max_queue_delay_s));
+  return scheduled_arrival.value_or(std::chrono::steady_clock::now()) + budget;
+}
+
+ServeResult ServingStack::ServedFromTier(core::QueryId query,
+                                         core::DatasetSize size,
+                                         core::QueryResult result,
+                                         double spent_s,
+                                         const core::DriverOptions& options,
+                                         bool coalesced) {
+  ServeResult served;
+  served.cache_hit = true;
+  served.coalesced = coalesced;
+  core::CellResult& cell = served.cell;
+  cell.engine = router_->engine_name();
+  cell.query = query;
+  cell.size = size;
+  cell.result = std::move(result);
+  cell.total_s = spent_s;
+  cell.dm_s = cell.total_s;
+  if (options_.model_network) {
+    ChargeModeledGlue(&cell,
+                      net_.TransferSeconds(kRequestBytes) +
+                          net_.TransferSeconds(ApproxResultBytes(cell.result)),
+                      options.timeout_seconds);
+  }
+  return served;
+}
+
+ServeResult ServingStack::Shed(core::QueryId query, core::DatasetSize size,
+                               AdmissionOutcome outcome,
+                               const std::string& detail, double waited_s) {
+  ServeResult result;
+  result.shed = true;
+  result.admission = outcome;
+  result.admission_wait_s = waited_s;
+  core::CellResult& cell = result.cell;
+  cell.engine = router_->engine_name();
+  cell.query = query;
+  cell.size = size;
+  cell.status = genbase::Status::Cancelled("shed " + detail + " (" +
+                                           AdmissionOutcomeName(outcome) +
+                                           ")");
+  return result;
+}
+
 ServeResult ServingStack::Serve(
     core::QueryId query, core::DatasetSize size,
     const core::DriverOptions& options, ExecContext* ctx,
     std::optional<std::chrono::steady_clock::time_point> scheduled_arrival) {
-  ServeResult result;
-  const CacheKey key{query, FingerprintParams(options.params), size};
+  const CacheKey key{query, FingerprintParams(options.params), size,
+                     epoch_.load(std::memory_order_acquire)};
+  // One budget per op, anchored at its (scheduled) arrival: a follower
+  // that outlives a failed flight keeps the same deadline through its own
+  // admission attempt instead of starting a fresh one.
+  const std::optional<std::chrono::steady_clock::time_point> start_deadline =
+      StartDeadline(scheduled_arrival);
 
   if (options_.cache_enabled) {
     WallTimer lookup_timer;
     core::QueryResult cached;
-    if (cache_.Lookup(key, &cached)) {
-      // Hit: answered at the serving tier. The op costs the lookup (real)
-      // plus the modeled request/response round trip — no engine work.
-      result.cache_hit = true;
-      core::CellResult& cell = result.cell;
-      cell.engine = router_->engine_name();
-      cell.query = query;
-      cell.size = size;
-      cell.result = std::move(cached);
-      cell.total_s = lookup_timer.Seconds();
-      cell.dm_s = cell.total_s;
-      if (options_.model_network) {
-        ChargeModeledGlue(&cell,
-                          net_.TransferSeconds(kRequestBytes) +
-                              net_.TransferSeconds(
-                                  ApproxResultBytes(cell.result)),
-                          options.timeout_seconds);
+    uint64_t entry_epoch = 0;
+    if (cache_.Lookup(key, &cached, &entry_epoch)) {
+      // Stale-hit tripwire: the entry's insert-time epoch (carried apart
+      // from the map key) must match the epoch this op entered with. Epoch
+      // keying makes a mismatch impossible unless the machinery breaks;
+      // fig8 gates its exit code on the counter staying zero. If it ever
+      // trips, count it AND fall through to the miss path — the invariant
+      // is that a stale result is never served, so the detector must heal
+      // (one recompute) rather than hand out old-generation data.
+      if (entry_epoch == key.epoch) {
+        // Hit: answered at the serving tier. The op costs the lookup
+        // (real) plus the modeled request/response round trip — no engine
+        // work.
+        return ServedFromTier(query, size, std::move(cached),
+                              lookup_timer.Seconds(), options,
+                              /*coalesced=*/false);
       }
-      return result;
+      stale_hits_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  std::optional<std::chrono::steady_clock::time_point> start_deadline;
-  if (admission_.enabled() && admission_.options().max_queue_delay_s > 0) {
-    const auto budget =
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(
-                admission_.options().max_queue_delay_s));
-    start_deadline =
-        scheduled_arrival.value_or(std::chrono::steady_clock::now()) + budget;
-  }
-  result.admission = admission_.Admit(start_deadline, &result.admission_wait_s);
-  if (result.admission != AdmissionOutcome::kAdmitted) {
-    result.shed = true;
-    core::CellResult& cell = result.cell;
-    cell.engine = router_->engine_name();
-    cell.query = query;
-    cell.size = size;
-    cell.status = genbase::Status::Cancelled(
-        std::string("shed by admission control (") +
-        AdmissionOutcomeName(result.admission) + ")");
-    return result;
+  if (options_.cache_enabled && options_.single_flight) {
+    std::shared_ptr<SingleFlightTable::Flight> flight;
+    if (flights_.Join(key, &flight) == SingleFlightTable::Role::kLeader) {
+      flight_leaders_.fetch_add(1, std::memory_order_relaxed);
+      // Double-check before executing: a previous flight on this key may
+      // have published between this op's miss and its join, in which case
+      // the work is already cached and re-running it would be exactly the
+      // stampede this layer exists to prevent. Peek (uncounted) so the op
+      // is not double-counted in the hit-ratio stats.
+      core::QueryResult cached;
+      if (cache_.Peek(key, &cached)) {
+        flights_.Publish(key, flight, /*ok=*/true, cached);
+        return ServedFromTier(query, size, std::move(cached), 0.0, options,
+                              /*coalesced=*/false);
+      }
+      return ExecuteMiss(key, query, size, options, ctx, start_deadline,
+                         flight);
+    }
+    // Follower: the identical computation is already running — wait for its
+    // result instead of stampeding the engines. Bounded by the same start
+    // deadline admission would apply: past it, the op's client is gone.
+    flight_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    WallTimer wait_timer;
+    core::QueryResult flown;
+    const SingleFlightTable::WaitResult wait =
+        SingleFlightTable::Wait(flight.get(), start_deadline, &flown);
+    switch (wait) {
+      case SingleFlightTable::WaitResult::kServed: {
+        flight_coalesced_served_.fetch_add(1, std::memory_order_relaxed);
+        // The flight wait is queueing, reported in admission_wait_s like an
+        // admission-queue wait (the runner folds it into latency and the
+        // queue-delay histogram) — not in the cell's own seconds, which
+        // would double-count it.
+        ServeResult result = ServedFromTier(query, size, std::move(flown),
+                                            /*spent_s=*/0.0, options,
+                                            /*coalesced=*/true);
+        result.admission_wait_s = wait_timer.Seconds();
+        return result;
+      }
+      case SingleFlightTable::WaitResult::kTimeout:
+        flight_shed_wait_timeout_.fetch_add(1, std::memory_order_relaxed);
+        return Shed(query, size, AdmissionOutcome::kShedTimeout,
+                    "waiting on coalesced flight", wait_timer.Seconds());
+      case SingleFlightTable::WaitResult::kLeaderFailed:
+        // The leader had nothing servable (error/INF/shed). Execute solo:
+        // failures are op-specific (a timeout there does not mean one
+        // here), and re-joining a flight could chain waits unboundedly.
+        flight_follower_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
   }
 
+  return ExecuteMiss(key, query, size, options, ctx, start_deadline,
+                     /*flight=*/nullptr);
+}
+
+ServeResult ServingStack::ExecuteMiss(
+    const CacheKey& key, core::QueryId query, core::DatasetSize size,
+    const core::DriverOptions& options, ExecContext* ctx,
+    std::optional<std::chrono::steady_clock::time_point> start_deadline,
+    const std::shared_ptr<SingleFlightTable::Flight>& flight) {
+  ServeResult result;
+  bool admitted_heavy = false;
+  double admission_wait_s = 0.0;
+  result.admission =
+      admission_.Admit(start_deadline, &admission_wait_s,
+                       static_cast<int>(query), &admitted_heavy);
+  if (result.admission != AdmissionOutcome::kAdmitted) {
+    result = Shed(query, size, result.admission, "by admission control",
+                  admission_wait_s);
+    if (flight != nullptr) {
+      flights_.Publish(key, flight, /*ok=*/false, core::QueryResult{});
+    }
+    return result;
+  }
+  result.admission_wait_s = admission_wait_s;
+
+  uint64_t data_epoch = 0;
   result.shard = router_->AcquireShard();
-  result.cell = router_->RunOnShard(result.shard, query, size, options, ctx);
-  admission_.Release();
+  result.cell = router_->RunOnShard(result.shard, query, size, options, ctx,
+                                    &data_epoch);
+  // Real slot-holding seconds feed the adaptive service-time model; the
+  // modeled share never occupied an execution slot.
+  admission_.Release(static_cast<int>(query),
+                     std::max(0.0, result.cell.total_s -
+                                       result.cell.modeled_s),
+                     admitted_heavy);
 
   if (options_.model_network) {
     const int64_t reply_bytes = result.cell.status.ok()
@@ -136,9 +283,27 @@ ServeResult ServingStack::Serve(
                           net_.TransferSeconds(reply_bytes),
                       options.timeout_seconds);
   }
-  if (options_.cache_enabled && result.cell.supported &&
-      result.cell.status.ok() && !result.cell.infinite) {
+  const bool servable = result.cell.supported && result.cell.status.ok() &&
+                        !result.cell.infinite;
+  if (options_.cache_enabled && servable && data_epoch == key.epoch &&
+      key.epoch == epoch_.load(std::memory_order_acquire)) {
+    // Two epoch guards close the reload races. data_epoch == key.epoch: an
+    // op keyed under the old generation that executed on an
+    // already-reloaded shard (or vice versa mid-roll) must not publish its
+    // result under a key other ops resolve. key.epoch == current: an op
+    // that outlived a whole reload must not insert an already-invalidated
+    // generation back into the cache — the entry would be unreachable, yet
+    // squat at the MRU end evicting live entries under pressure. (A reload
+    // landing between this check and the insert still leaves such an
+    // entry; that window is microseconds and costs memory, not
+    // correctness.)
     cache_.Insert(key, result.cell.result);
+  }
+  if (flight != nullptr) {
+    // Followers may be served the result even when the epoch guard skipped
+    // the cache insert: they joined the same key (same epoch view), so the
+    // hand-off is exactly as correct as the leader's own answer.
+    flights_.Publish(key, flight, servable, result.cell.result);
   }
   return result;
 }
@@ -148,6 +313,16 @@ ServingCounters ServingStack::counters() const {
   c.cache = cache_.stats();
   c.admission = admission_.stats();
   c.shards = router_->stats();
+  c.flight.leaders = flight_leaders_.load(std::memory_order_relaxed);
+  c.flight.coalesced = flight_coalesced_.load(std::memory_order_relaxed);
+  c.flight.coalesced_served =
+      flight_coalesced_served_.load(std::memory_order_relaxed);
+  c.flight.follower_fallbacks =
+      flight_follower_fallbacks_.load(std::memory_order_relaxed);
+  c.flight.shed_wait_timeout =
+      flight_shed_wait_timeout_.load(std::memory_order_relaxed);
+  c.stale_hits = stale_hits_.load(std::memory_order_relaxed);
+  c.reloads = reloads_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -1,7 +1,9 @@
 #ifndef GENBASE_SERVING_SERVING_STACK_H_
 #define GENBASE_SERVING_SERVING_STACK_H_
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -15,6 +17,7 @@
 #include "serving/counters.h"
 #include "serving/result_cache.h"
 #include "serving/shard_router.h"
+#include "serving/single_flight.h"
 
 namespace genbase::serving {
 
@@ -25,6 +28,12 @@ struct ServingOptions {
   bool cache_enabled = true;
   int64_t cache_max_entries = 256;
   int64_t cache_max_bytes = 64LL << 20;
+
+  /// Coalesce concurrent cache misses on one key into a single engine
+  /// execution (stampede control). Only meaningful with the cache enabled —
+  /// followers are served through the leader's published result exactly as
+  /// a hit would be.
+  bool single_flight = true;
 
   /// Defaults keep admission disabled (nothing is shed).
   AdmissionOptions admission;
@@ -39,25 +48,35 @@ struct ServingOptions {
 
 /// \brief Outcome of one Serve() call. Exactly one of these holds: the op
 /// was shed (cell carries the shed status, no result), or it was served
-/// (from cache or a shard) and `cell` is a normal driver cell.
+/// (from cache, a coalesced flight, or a shard) and `cell` is a normal
+/// driver cell.
 struct ServeResult {
   core::CellResult cell;
   AdmissionOutcome admission = AdmissionOutcome::kAdmitted;
   bool shed = false;
   bool cache_hit = false;
+  /// Served from another op's in-flight computation (single-flight
+  /// follower). Reported with cache_hit set: it is a serving-tier answer.
+  bool coalesced = false;
   int shard = -1;               ///< Executing shard; -1 for hits and sheds.
-  double admission_wait_s = 0;  ///< Time spent queued before executing.
+  double admission_wait_s = 0;  ///< Time queued (admission or flight wait).
 };
 
-/// \brief The serving layer: result cache, then admission control, then the
-/// shard router, in front of one or more loaded engines. Serve() is shaped
-/// like core::RunCellWithContext — the workload runner drives either path
-/// interchangeably.
+/// \brief The serving layer: result cache, then single-flight coalescing,
+/// then admission control, then the shard router, in front of one or more
+/// loaded engines. Serve() is shaped like core::RunCellWithContext — the
+/// workload runner drives either path interchangeably.
 ///
 /// Layer order is the production one: cache hits are answered before
 /// admission (a hit costs microseconds plus the modeled network round trip,
-/// so shedding it would throw away nearly free goodput), and only cache
-/// misses compete for the bounded execution slots.
+/// so shedding it would throw away nearly free goodput), concurrent misses
+/// on one key collapse into a single execution, and only the leaders of
+/// those flights compete for the bounded execution slots.
+///
+/// Dataset churn: every cache key carries the dataset epoch
+/// (core::Engine::dataset_epoch), so ReloadDataset — a rolling, drain-based
+/// shard reload — invalidates the previous generation by construction
+/// instead of racing a Clear() against in-flight inserts.
 class ServingStack {
  public:
   /// Builds and loads `options.shards` engine instances. The stack owns its
@@ -73,11 +92,24 @@ class ServingStack {
   /// Serves one operation. `scheduled_arrival`, when set (open-loop
   /// workloads), anchors deadline-based shedding: the op must *start*
   /// executing within admission.max_queue_delay_s of its scheduled arrival,
-  /// not of whenever a dispatch thread got around to issuing it.
+  /// not of whenever a dispatch thread got around to issuing it. The same
+  /// deadline bounds a single-flight follower's wait.
   ServeResult Serve(core::QueryId query, core::DatasetSize size,
                     const core::DriverOptions& options, ExecContext* ctx,
                     std::optional<std::chrono::steady_clock::time_point>
                         scheduled_arrival = std::nullopt);
+
+  /// Swaps every shard to `data` (rolling drain-and-reload; serving
+  /// continues on the other shards throughout) and advances the stack's
+  /// epoch so all previous-generation cache entries become unreachable,
+  /// then reclaims them. Safe to call while Serve() runs concurrently;
+  /// concurrent ReloadDataset calls serialize.
+  genbase::Status ReloadDataset(const core::GenBaseData& data);
+
+  /// The dataset generation new serves are keyed under.
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   ServingCounters counters() const;
 
@@ -85,11 +117,52 @@ class ServingStack {
   ServingStack(const ServingOptions& options,
                std::unique_ptr<ShardRouter> router);
 
+  /// The miss path: admission, shard execution, network model, cache
+  /// insert, and — when `flight` is set — the leader's publish.
+  /// `start_deadline` is computed once per op in Serve: a follower that
+  /// falls back here after a failed flight must not get a fresh budget.
+  ServeResult ExecuteMiss(const CacheKey& key, core::QueryId query,
+                          core::DatasetSize size,
+                          const core::DriverOptions& options, ExecContext* ctx,
+                          std::optional<std::chrono::steady_clock::time_point>
+                              start_deadline,
+                          const std::shared_ptr<SingleFlightTable::Flight>&
+                              flight);
+
+  std::optional<std::chrono::steady_clock::time_point> StartDeadline(
+      std::optional<std::chrono::steady_clock::time_point> scheduled_arrival)
+      const;
+
+  /// Builds the cell for an op answered at the serving tier (cache hit or
+  /// coalesced flight result): `spent_s` real seconds plus the modeled
+  /// network round trip, no engine work.
+  ServeResult ServedFromTier(core::QueryId query, core::DatasetSize size,
+                             core::QueryResult result, double spent_s,
+                             const core::DriverOptions& options,
+                             bool coalesced);
+
+  /// Builds the cell for a shed op (admission or flight-wait deadline).
+  ServeResult Shed(core::QueryId query, core::DatasetSize size,
+                   AdmissionOutcome outcome, const std::string& detail,
+                   double waited_s);
+
   ServingOptions options_;
   ResultCache cache_;
+  SingleFlightTable flights_;
   AdmissionController admission_;
   std::unique_ptr<ShardRouter> router_;
   cluster::NetworkModel net_;
+
+  std::atomic<uint64_t> epoch_;
+  std::mutex reload_mu_;  ///< Serializes ReloadDataset calls.
+
+  std::atomic<int64_t> stale_hits_{0};
+  std::atomic<int64_t> reloads_{0};
+  std::atomic<int64_t> flight_leaders_{0};
+  std::atomic<int64_t> flight_coalesced_{0};
+  std::atomic<int64_t> flight_coalesced_served_{0};
+  std::atomic<int64_t> flight_follower_fallbacks_{0};
+  std::atomic<int64_t> flight_shed_wait_timeout_{0};
 };
 
 }  // namespace genbase::serving

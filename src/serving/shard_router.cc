@@ -1,5 +1,6 @@
 #include "serving/shard_router.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace genbase::serving {
@@ -20,31 +21,59 @@ genbase::Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
           "shard router: engine factory returned null");
     }
     GENBASE_RETURN_NOT_OK(shard->engine->LoadDataset(data));
+    shard->generation = 1;
     router->shards_.push_back(std::move(shard));
   }
+  router->generation_ = 1;
   return router;
 }
 
 int ShardRouter::AcquireShard() {
-  std::lock_guard<std::mutex> lock(mu_);
-  int best = 0;
-  for (int s = 1; s < static_cast<int>(shards_.size()); ++s) {
-    if (shards_[static_cast<size_t>(s)]->outstanding <
-        shards_[static_cast<size_t>(best)]->outstanding) {
-      best = s;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    int best = -1;
+    for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+      Shard& shard = *shards_[static_cast<size_t>(s)];
+      if (shard.draining) continue;
+      if (best < 0 ||
+          shard.outstanding < shards_[static_cast<size_t>(best)]->outstanding) {
+        best = s;
+      }
     }
+    if (best >= 0) {
+      ++shards_[static_cast<size_t>(best)]->outstanding;
+      return best;
+    }
+    // Every shard draining: only reachable with a single shard mid-reload
+    // (reloads drain one shard at a time). Wait it out rather than fail —
+    // the reload is bounded by a dataset load.
+    shard_state_.wait(lock);
   }
-  ++shards_[static_cast<size_t>(best)]->outstanding;
-  return best;
 }
 
 core::CellResult ShardRouter::RunOnShard(int s, core::QueryId query,
                                          core::DatasetSize size,
                                          const core::DriverOptions& options,
-                                         ExecContext* ctx) {
+                                         ExecContext* ctx,
+                                         uint64_t* data_epoch) {
   Shard& shard = *shards_[static_cast<size_t>(s)];
+  // Stable for the whole run: the shard was acquired non-draining, and
+  // ReloadShards waits for outstanding == 0 before swapping its dataset.
+  // The engine's own epoch counter is the runtime tripwire for that
+  // invariant — it moves on *any* load/unload, so if it changes across
+  // this run the dataset was swapped under the op and the result must not
+  // be cached under any generation.
+  const uint64_t engine_epoch_before = shard.engine->dataset_epoch();
+  if (data_epoch != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    *data_epoch = shard.generation;
+  }
   const core::CellResult cell =
       core::RunCellWithContext(shard.engine.get(), query, size, options, ctx);
+  if (data_epoch != nullptr &&
+      shard.engine->dataset_epoch() != engine_epoch_before) {
+    *data_epoch = ~uint64_t{0};  // Poisoned: matches no cache-key epoch.
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     --shard.outstanding;
@@ -54,7 +83,54 @@ core::CellResult ShardRouter::RunOnShard(int s, core::QueryId query,
     shard.stats.errors +=
         (!cell.infinite && (!cell.supported || !cell.status.ok())) ? 1 : 0;
   }
+  // A drainer may be waiting for this shard to go idle.
+  shard_state_.notify_all();
   return cell;
+}
+
+genbase::Status ShardRouter::ReloadShards(const core::GenBaseData& data) {
+  // The generation the roll is moving the fleet to. generation_ only
+  // advances when the whole roll succeeds, so a retry after a mid-roll
+  // failure targets the same generation again — already-reloaded shards
+  // simply re-ingest and the fleet converges instead of drifting.
+  uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = generation_ + 1;
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shard.draining = true;
+      shard_state_.wait(lock, [&shard] { return shard.outstanding == 0; });
+    }
+    // Load outside the router lock: sibling shards keep serving while this
+    // one ingests. No op can land here — AcquireShard skips draining shards.
+    const genbase::Status status = shard.engine->LoadDataset(data);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status.ok()) shard.generation = target;
+      shard.draining = false;
+    }
+    shard_state_.notify_all();
+    // A failed load stops the roll: this shard answers errors until a later
+    // successful reload, and the caller must know rather than discover a
+    // half-reloaded fleet through mismatched results.
+    GENBASE_RETURN_NOT_OK(status);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  generation_ = target;
+  return genbase::Status::OK();
+}
+
+uint64_t ShardRouter::dataset_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t min_generation = shards_[0]->generation;
+  for (const auto& shard : shards_) {
+    min_generation = std::min(min_generation, shard->generation);
+  }
+  return min_generation;
 }
 
 std::vector<ShardStats> ShardRouter::stats() const {

@@ -1,6 +1,7 @@
 #ifndef GENBASE_SERVING_SHARD_ROUTER_H_
 #define GENBASE_SERVING_SHARD_ROUTER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -46,30 +47,56 @@ class ShardRouter {
   std::string engine_name() const { return shards_[0]->engine->name(); }
 
   /// Claims the least-loaded shard for one op (increments its outstanding
-  /// count); the matching RunOnShard releases it.
+  /// count); the matching RunOnShard releases it. Shards mid-reload are
+  /// skipped; if every shard is draining (only possible with one shard),
+  /// blocks until one is serveable again.
   int AcquireShard();
 
   /// Executes one operation on shard `s` through core::RunCellWithContext
   /// (the timed, timeout-enforcing path), updates that shard's stats, and
-  /// releases it.
+  /// releases it. `data_epoch` (optional) receives the generation of the
+  /// dataset this shard holds (see dataset_epoch) — stable across the run,
+  /// because reloads drain a shard before touching its data.
   core::CellResult RunOnShard(int s, core::QueryId query,
                               core::DatasetSize size,
                               const core::DriverOptions& options,
-                              ExecContext* ctx);
+                              ExecContext* ctx, uint64_t* data_epoch = nullptr);
+
+  /// Rolling reload: one shard at a time is marked draining (AcquireShard
+  /// routes around it), waited idle, and reloaded with `data` — the rest of
+  /// the fleet keeps serving. An op therefore never observes a dataset swap
+  /// mid-query; during the reload window different shards may serve
+  /// different generations, which is inherent to rolling reloads and is
+  /// what the serving stack's epoch-keyed cache exists to keep honest.
+  /// Serialized against itself by the caller (ServingStack).
+  genbase::Status ReloadShards(const core::GenBaseData& data);
+
+  /// The fleet's dataset generation: the minimum *successfully loaded*
+  /// generation across shards, i.e. the one every shard is guaranteed to
+  /// have reached. Deliberately not the raw core::Engine::dataset_epoch —
+  /// that counter advances on failed loads too, so comparing it across
+  /// shards after a mid-roll failure would leave the fleet permanently
+  /// desynchronized; per-shard generations only advance on success, so a
+  /// failed roll heals on the next successful ReloadShards.
+  uint64_t dataset_epoch() const;
 
   std::vector<ShardStats> stats() const;
 
  private:
   struct Shard {
     std::unique_ptr<core::Engine> engine;
-    int outstanding = 0;      ///< Guarded by router mu_.
-    ShardStats stats;         ///< Guarded by router mu_.
+    int outstanding = 0;       ///< Guarded by router mu_.
+    bool draining = false;     ///< Guarded by router mu_.
+    uint64_t generation = 0;   ///< Successfully loaded gen; guarded by mu_.
+    ShardStats stats;          ///< Guarded by router mu_.
   };
 
   ShardRouter() = default;
 
   mutable std::mutex mu_;
+  std::condition_variable shard_state_;  ///< Drain-idle + undrain wakeups.
   std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t generation_ = 0;  ///< Last fleet-wide successful gen; mu_.
 };
 
 }  // namespace genbase::serving

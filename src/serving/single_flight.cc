@@ -1,0 +1,60 @@
+#include "serving/single_flight.h"
+
+namespace genbase::serving {
+
+SingleFlightTable::Role SingleFlightTable::Join(
+    const CacheKey& key, std::shared_ptr<Flight>* flight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = flights_.find(key);
+  if (it != flights_.end()) {
+    *flight = it->second;
+    return Role::kFollower;
+  }
+  *flight = std::make_shared<Flight>();
+  flights_.emplace(key, *flight);
+  return Role::kLeader;
+}
+
+void SingleFlightTable::Publish(const CacheKey& key,
+                                const std::shared_ptr<Flight>& flight,
+                                bool ok, const core::QueryResult& result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    // Erase only our own flight: a failed leader's followers may have
+    // already re-opened the key with a new flight.
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->ok = ok;
+    if (ok) flight->result = result;
+  }
+  flight->cv.notify_all();
+}
+
+SingleFlightTable::WaitResult SingleFlightTable::Wait(
+    Flight* flight,
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    core::QueryResult* out) {
+  std::unique_lock<std::mutex> lock(flight->mu);
+  if (deadline.has_value()) {
+    if (!flight->cv.wait_until(lock, *deadline,
+                               [flight] { return flight->done; })) {
+      return WaitResult::kTimeout;
+    }
+  } else {
+    flight->cv.wait(lock, [flight] { return flight->done; });
+  }
+  if (!flight->ok) return WaitResult::kLeaderFailed;
+  if (out != nullptr) *out = flight->result;
+  return WaitResult::kServed;
+}
+
+int64_t SingleFlightTable::open_flights() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(flights_.size());
+}
+
+}  // namespace genbase::serving

@@ -1,0 +1,78 @@
+#ifndef GENBASE_SERVING_SINGLE_FLIGHT_H_
+#define GENBASE_SERVING_SINGLE_FLIGHT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/queries.h"
+#include "serving/result_cache.h"
+
+namespace genbase::serving {
+
+/// \brief Coalesces concurrent cache misses on one key into a single engine
+/// execution — the classic cache-stampede defense. The first miss opens a
+/// "flight" and becomes its leader (it executes and publishes); every
+/// concurrent miss on the same key becomes a follower that blocks on the
+/// flight instead of duplicating the work. Keys include the dataset epoch
+/// (CacheKey), so a flight can never hand a follower a result from another
+/// dataset generation.
+///
+/// The table only tracks membership and result hand-off; policy (what a
+/// follower does on leader failure or deadline, how outcomes are counted)
+/// lives in the ServingStack, which owns the counters.
+class SingleFlightTable {
+ public:
+  /// One in-progress computation. Followers block on `cv` until the leader
+  /// publishes. The struct outlives its table entry (shared_ptr): a leader
+  /// publishes to followers that already joined even though the key has
+  /// been re-opened for new arrivals.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;  ///< Leader produced a servable result.
+    core::QueryResult result;
+  };
+
+  enum class Role { kLeader, kFollower };
+
+  /// Outcome of a follower's wait.
+  enum class WaitResult {
+    kServed,        ///< Leader published a good result (in *out).
+    kLeaderFailed,  ///< Leader finished without a servable result.
+    kTimeout,       ///< Deadline passed before the leader finished.
+  };
+
+  /// Joins (or opens) the flight for `key`. Returns kLeader exactly once
+  /// per open flight; the leader must eventually call Publish with the same
+  /// flight or every follower blocks until its deadline.
+  Role Join(const CacheKey& key, std::shared_ptr<Flight>* flight);
+
+  /// Leader hand-off: closes the flight for new joiners and wakes all
+  /// followers. `ok` is false when the leader has nothing servable (error,
+  /// INF, shed) — followers then fend for themselves.
+  void Publish(const CacheKey& key, const std::shared_ptr<Flight>& flight,
+               bool ok, const core::QueryResult& result);
+
+  /// Follower wait, bounded by `deadline` when set. On kServed the leader's
+  /// result is copied into `out` (if non-null).
+  static WaitResult Wait(
+      Flight* flight,
+      std::optional<std::chrono::steady_clock::time_point> deadline,
+      core::QueryResult* out);
+
+  /// Open flights right now (for tests / introspection).
+  int64_t open_flights() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> flights_;
+};
+
+}  // namespace genbase::serving
+
+#endif  // GENBASE_SERVING_SINGLE_FLIGHT_H_

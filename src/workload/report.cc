@@ -140,17 +140,37 @@ void WorkloadReport::Print() const {
   }
   if (has_serving) {
     std::printf("  serving: cache hit=%lld miss=%lld (ratio %.2f, "
-                "%lld entries, %lld evicted)  admitted=%lld "
-                "shed=%lld+%lld peakq=%lld\n",
+                "%lld entries, %lld evicted, %lld invalidated, "
+                "%lld oversize)  admitted=%lld "
+                "shed=%lld+%lld peakq=%lld limit=%lld\n",
                 static_cast<long long>(serving.cache.hits),
                 static_cast<long long>(serving.cache.misses),
                 serving.cache.hit_ratio(),
                 static_cast<long long>(serving.cache.entries),
                 static_cast<long long>(serving.cache.evictions),
+                static_cast<long long>(serving.cache.invalidated),
+                static_cast<long long>(serving.cache.rejected_oversize),
                 static_cast<long long>(serving.admission.admitted),
                 static_cast<long long>(serving.admission.shed_queue_full),
                 static_cast<long long>(serving.admission.shed_timeout),
-                static_cast<long long>(serving.admission.peak_queue));
+                static_cast<long long>(serving.admission.peak_queue),
+                static_cast<long long>(serving.admission.current_limit));
+    // Churn/stampede lines only when those layers saw traffic: the classic
+    // closed-loop figures stay byte-stable otherwise.
+    if (serving.flight.leaders > 0 || serving.flight.coalesced > 0) {
+      std::printf("  single-flight: leaders=%lld coalesced=%lld "
+                  "(served=%lld, fallbacks=%lld, shed=%lld)\n",
+                  static_cast<long long>(serving.flight.leaders),
+                  static_cast<long long>(serving.flight.coalesced),
+                  static_cast<long long>(serving.flight.coalesced_served),
+                  static_cast<long long>(serving.flight.follower_fallbacks),
+                  static_cast<long long>(serving.flight.shed_wait_timeout));
+    }
+    if (serving.reloads > 0 || serving.stale_hits > 0) {
+      std::printf("  churn: reloads=%lld stale_hits=%lld (must be 0)\n",
+                  static_cast<long long>(serving.reloads),
+                  static_cast<long long>(serving.stale_hits));
+    }
     for (size_t s = 0; s < serving.shards.size(); ++s) {
       const serving::ShardStats& st = serving.shards[s];
       std::printf("    shard %zu: ops=%lld busy=%ss err=%lld inf=%lld\n", s,
@@ -324,6 +344,10 @@ std::string WorkloadReport::ToJson() const {
     out.push_back(',');
     AppendKv(&out, "evictions", serving.cache.evictions);
     out.push_back(',');
+    AppendKv(&out, "invalidated", serving.cache.invalidated);
+    out.push_back(',');
+    AppendKv(&out, "rejected_oversize", serving.cache.rejected_oversize);
+    out.push_back(',');
     AppendKv(&out, "entries", serving.cache.entries);
     out.push_back(',');
     AppendKv(&out, "bytes", serving.cache.bytes);
@@ -335,7 +359,23 @@ std::string WorkloadReport::ToJson() const {
     AppendKv(&out, "shed_timeout", serving.admission.shed_timeout);
     out.push_back(',');
     AppendKv(&out, "peak_queue", serving.admission.peak_queue);
-    out.append("},\"shards\":[");
+    out.push_back(',');
+    AppendKv(&out, "current_limit", serving.admission.current_limit);
+    out.append("},\"single_flight\":{");
+    AppendKv(&out, "leaders", serving.flight.leaders);
+    out.push_back(',');
+    AppendKv(&out, "coalesced", serving.flight.coalesced);
+    out.push_back(',');
+    AppendKv(&out, "coalesced_served", serving.flight.coalesced_served);
+    out.push_back(',');
+    AppendKv(&out, "follower_fallbacks", serving.flight.follower_fallbacks);
+    out.push_back(',');
+    AppendKv(&out, "shed_wait_timeout", serving.flight.shed_wait_timeout);
+    out.append("},");
+    AppendKv(&out, "stale_hits", serving.stale_hits);
+    out.push_back(',');
+    AppendKv(&out, "reloads", serving.reloads);
+    out.append(",\"shards\":[");
     for (size_t s = 0; s < serving.shards.size(); ++s) {
       if (s > 0) out.push_back(',');
       out.push_back('{');

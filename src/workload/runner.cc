@@ -216,6 +216,8 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
   serving::ServingCounters counters_at_measure_start;
   if (stack != nullptr) counters_at_measure_start = stack->counters();
 
+  if (on_measure_start_) on_measure_start_();
+
   WallTimer wall;
   run_phase(warmup_end, schedule.size(), /*record=*/true);
   const double wall_seconds = wall.Seconds();

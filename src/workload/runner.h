@@ -83,6 +83,15 @@ class WorkloadRunner {
     for (auto& [key, truth] : truths) truths_[key] = std::move(truth);
   }
 
+  /// Invoked immediately before the measured phase starts issuing ops
+  /// (after warm-up and after the serving-counter baseline snapshot).
+  /// Reload-while-serving benches use it to launch dataset churn that is
+  /// guaranteed to land inside the measured window — and inside the
+  /// measured counter delta — rather than racing the warm-up.
+  void set_on_measure_start(std::function<void()> hook) {
+    on_measure_start_ = std::move(hook);
+  }
+
   /// Loads `data` into `engine` (unless `already_loaded`), runs the warm-up
   /// and measured phases directly against the engine, and returns the
   /// aggregated report. Returns a non-OK status only for spec/load/reference
@@ -116,6 +125,7 @@ class WorkloadRunner {
 
   WorkloadSpec spec_;
   std::map<TruthKey, core::QueryResult> truths_;
+  std::function<void()> on_measure_start_;
 };
 
 }  // namespace genbase::workload

@@ -25,10 +25,10 @@ class FakeEngine : public core::Engine {
   explicit FakeEngine(Behavior b) : behavior_(b) {}
 
   std::string name() const override { return "fake"; }
-  genbase::Status LoadDataset(const core::GenBaseData&) override {
+  genbase::Status DoLoadDataset(const core::GenBaseData&) override {
     return genbase::Status::OK();
   }
-  void UnloadDataset() override {}
+  void DoUnloadDataset() override {}
   void PrepareContext(ExecContext* ctx) override { ctx->set_pool(nullptr); }
 
   bool SupportsQuery(QueryId q) const override {

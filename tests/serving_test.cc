@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "common/check.h"
 #include "core/generator.h"
@@ -136,11 +140,63 @@ TEST(ResultCacheTest, ByteBoundEvictsAndTracksBytes) {
   EXPECT_TRUE(cache.Lookup(KeyWithFingerprint(2), &out));
 }
 
-TEST(ResultCacheTest, OversizedValueIsNotCached) {
+TEST(ResultCacheTest, OversizedValueIsCountedAsRejected) {
   ResultCache cache(/*max_entries=*/4, /*max_bytes=*/64);
   cache.Insert(KeyWithFingerprint(1), SvdResultWithValues(64, 1.0));
-  EXPECT_EQ(cache.stats().entries, 0);
-  EXPECT_EQ(cache.stats().insertions, 0);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.insertions, 0);
+  EXPECT_EQ(stats.rejected_oversize, 1);
+}
+
+CacheKey KeyWithEpoch(uint64_t fp, uint64_t epoch) {
+  CacheKey key = KeyWithFingerprint(fp);
+  key.epoch = epoch;
+  return key;
+}
+
+TEST(ResultCacheTest, EpochIsPartOfTheKey) {
+  ResultCache cache(/*max_entries=*/8, /*max_bytes=*/1 << 20);
+  cache.Insert(KeyWithEpoch(1, 1), SvdResultWithValues(3, 1.0));
+  core::QueryResult out;
+  // Same (query, fingerprint, size), later epoch: a distinct key — the
+  // post-reload lookup cannot resolve pre-reload entries.
+  EXPECT_FALSE(cache.Lookup(KeyWithEpoch(1, 2), &out));
+  uint64_t entry_epoch = 0;
+  EXPECT_TRUE(cache.Lookup(KeyWithEpoch(1, 1), &out, &entry_epoch));
+  EXPECT_EQ(entry_epoch, 1u);
+}
+
+TEST(ResultCacheTest, InvalidateEpochsBelowRemovesExactlyOldEpochs) {
+  ResultCache cache(/*max_entries=*/16, /*max_bytes=*/1 << 20);
+  cache.Insert(KeyWithEpoch(1, 1), SvdResultWithValues(3, 1.0));
+  cache.Insert(KeyWithEpoch(2, 1), SvdResultWithValues(3, 2.0));
+  cache.Insert(KeyWithEpoch(3, 2), SvdResultWithValues(3, 3.0));
+  EXPECT_EQ(cache.InvalidateEpochsBelow(2), 2);
+  core::QueryResult out;
+  EXPECT_FALSE(cache.Lookup(KeyWithEpoch(1, 1), &out));
+  EXPECT_FALSE(cache.Lookup(KeyWithEpoch(2, 1), &out));
+  EXPECT_TRUE(cache.Lookup(KeyWithEpoch(3, 2), &out));
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidated, 2);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.entries, 1);
+  // The removal accounting reconciles.
+  EXPECT_EQ(stats.entries,
+            stats.insertions - stats.evictions - stats.invalidated);
+}
+
+TEST(ResultCacheTest, ClearCountsRemovedEntriesAsInvalidated) {
+  ResultCache cache(/*max_entries=*/16, /*max_bytes=*/1 << 20);
+  cache.Insert(KeyWithFingerprint(1), SvdResultWithValues(3, 1.0));
+  cache.Insert(KeyWithFingerprint(2), SvdResultWithValues(3, 2.0));
+  cache.Clear();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.invalidated, 2);
+  EXPECT_EQ(stats.entries,
+            stats.insertions - stats.evictions - stats.invalidated);
 }
 
 // --- admission controller ---------------------------------------------------
@@ -393,6 +449,429 @@ TEST(ServingStackTest, OverloadShedsAndAccountsSeparately) {
   // Stack-level and runner-level shed accounting agree.
   EXPECT_EQ(report->serving.admission.shed(), report->total.shed());
   EXPECT_EQ(report->has_serving, true);
+}
+
+// --- single flight ----------------------------------------------------------
+
+TEST(SingleFlightTest, FirstJoinLeadsFollowersAreServed) {
+  SingleFlightTable table;
+  const CacheKey key = KeyWithFingerprint(7);
+  std::shared_ptr<SingleFlightTable::Flight> leader_flight;
+  ASSERT_EQ(table.Join(key, &leader_flight),
+            SingleFlightTable::Role::kLeader);
+  std::shared_ptr<SingleFlightTable::Flight> follower_flight;
+  ASSERT_EQ(table.Join(key, &follower_flight),
+            SingleFlightTable::Role::kFollower);
+  ASSERT_EQ(leader_flight, follower_flight);
+  EXPECT_EQ(table.open_flights(), 1);
+
+  core::QueryResult served;
+  std::thread follower([&] {
+    ASSERT_EQ(SingleFlightTable::Wait(follower_flight.get(), std::nullopt,
+                                      &served),
+              SingleFlightTable::WaitResult::kServed);
+  });
+  table.Publish(key, leader_flight, /*ok=*/true, SvdResultWithValues(3, 2.0));
+  follower.join();
+  EXPECT_DOUBLE_EQ(served.svd.singular_values[0], 6.0);
+  // The flight closed: the next miss on the key opens a fresh one.
+  EXPECT_EQ(table.open_flights(), 0);
+  std::shared_ptr<SingleFlightTable::Flight> next;
+  EXPECT_EQ(table.Join(key, &next), SingleFlightTable::Role::kLeader);
+  table.Publish(key, next, /*ok=*/false, core::QueryResult{});
+}
+
+TEST(SingleFlightTest, FailedLeaderAndDeadlineAreDistinguished) {
+  SingleFlightTable table;
+  const CacheKey key = KeyWithFingerprint(8);
+  std::shared_ptr<SingleFlightTable::Flight> flight;
+  ASSERT_EQ(table.Join(key, &flight), SingleFlightTable::Role::kLeader);
+
+  // Deadline passes before any publish.
+  EXPECT_EQ(SingleFlightTable::Wait(
+                flight.get(),
+                std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(10),
+                nullptr),
+            SingleFlightTable::WaitResult::kTimeout);
+
+  table.Publish(key, flight, /*ok=*/false, core::QueryResult{});
+  EXPECT_EQ(SingleFlightTable::Wait(flight.get(), std::nullopt, nullptr),
+            SingleFlightTable::WaitResult::kLeaderFailed);
+}
+
+TEST(ServingStackTest, ConcurrentMissesOnOneKeyRunOneCompute) {
+  ServingOptions options = CacheOnlyOptions(2);
+  options.single_flight = true;
+  auto stack = ServingStack::Create(options, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(stack.ok());
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<ServeResult> results(kThreads);
+  std::vector<ExecContext> ctxs(kThreads);
+  std::atomic<int> ready{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Barrier so the misses are genuinely concurrent.
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      results[static_cast<size_t>(t)] =
+          (*stack)->Serve(core::QueryId::kSvd, core::DatasetSize::kSmall,
+                          TinyOptions(), &ctxs[static_cast<size_t>(t)]);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // However the threads interleaved (leader + followers, or stragglers that
+  // hit the already-populated cache), the engines ran the query exactly
+  // once, and every caller got that one correct result.
+  const ServingCounters counters = (*stack)->counters();
+  int64_t executed = 0;
+  for (const auto& shard : counters.shards) executed += shard.ops;
+  EXPECT_EQ(executed, 1);
+  // Usually exactly one flight; a straggler that misses, then joins after
+  // the publish, opens a second flight but is answered by the leader's
+  // double-check peek — never by a second execution (asserted above).
+  EXPECT_GE(counters.flight.leaders, 1);
+  EXPECT_EQ(counters.flight.coalesced, counters.flight.coalesced_served);
+  for (const auto& result : results) {
+    ASSERT_FALSE(result.shed);
+    ASSERT_TRUE(result.cell.status.ok()) << result.cell.status.ToString();
+    EXPECT_TRUE(core::CompareQueryResults(results[0].cell.result,
+                                          result.cell.result).ok());
+  }
+  EXPECT_EQ(counters.stale_hits, 0);
+}
+
+// --- adaptive admission -----------------------------------------------------
+
+TEST(AdaptiveAdmissionTest, NextLimitConvergesOnBimodalServiceMix) {
+  AdmissionOptions options;
+  options.adaptive = true;
+  options.target_queue_delay_s = 0.05;
+  options.min_inflight = 1;
+  options.max_inflight_cap = 32;
+
+  // Synthetic bimodal mix: 80% lookups at 1ms, 20% biclustering at 96ms —
+  // completion-weighted mean service 20ms. The backlog a limit produces is
+  // modeled as the unserved share of a demand of 12 concurrent ops (more
+  // slots, shorter queue). Iterating the controller's own step function
+  // from both extremes must settle in the band around the Little's-law
+  // fixed point limit = ceil(queue(limit) * 0.020 / 0.050):
+  // queue(l) = 2*(12-l), so l* solves l = 0.8*(12-l) -> l* ~ 5.3.
+  const double mean_service = 0.020;
+  const auto queue_for_limit = [](int limit) {
+    return 2.0 * std::max(0, 12 - limit);
+  };
+  for (int start : {1, 32}) {
+    int limit = start;
+    for (int i = 0; i < 64; ++i) {
+      limit = AdaptiveNextLimit(options, limit, mean_service,
+                                queue_for_limit(limit));
+    }
+    EXPECT_GE(limit, 4) << "from " << start;
+    EXPECT_LE(limit, 7) << "from " << start;
+  }
+  // Degenerate inputs stay clamped: unknown service times hold the limit,
+  // an empty queue decays to min, a huge backlog saturates at the cap.
+  EXPECT_EQ(AdaptiveNextLimit(options, 5, 0.0, 100.0), 5);
+  int idle = 32;
+  for (int i = 0; i < 64; ++i) {
+    idle = AdaptiveNextLimit(options, idle, mean_service, 0.0);
+  }
+  EXPECT_EQ(idle, 1);
+  int slammed = 1;
+  for (int i = 0; i < 64; ++i) {
+    slammed = AdaptiveNextLimit(options, slammed, 1.0, 1000.0);
+  }
+  EXPECT_EQ(slammed, 32);
+}
+
+TEST(AdaptiveAdmissionTest, ShedPressureUnpinsAFastServiceLimit) {
+  // Services much faster than the target delay: the Little's-law term
+  // alone wants limit 1 forever (the adaptive queue bound caps the
+  // observable backlog at 2 x limit, so `needed` never exceeds the
+  // current limit), while queue-full sheds rage on. Shed pressure must
+  // climb the limit until demand fits; without it the loop below pins at
+  // the minimum.
+  AdmissionOptions options;
+  options.adaptive = true;
+  options.target_queue_delay_s = 0.05;
+  options.min_inflight = 1;
+  options.max_inflight_cap = 64;
+  const double mean_service = 0.001;  // 1ms ops, target 50ms.
+  const int demand = 12;
+  int limit = 1;
+  for (int i = 0; i < 64; ++i) {
+    const double queue = std::min(2 * limit, std::max(0, demand - limit));
+    const int64_t sheds = std::max(0, demand - limit - 2 * limit);
+    limit = AdaptiveNextLimit(options, limit, mean_service, queue, sheds);
+  }
+  // Sheds stop once limit + 2*limit >= demand (limit 4); the delay term
+  // then pulls back toward 1 and shed pressure pushes up again — the
+  // orbit must stay off the pinned minimum and inside a sane band.
+  EXPECT_GE(limit, 3);
+  EXPECT_LE(limit, 6);
+}
+
+TEST(AdaptiveAdmissionTest, HeavyClassIsLearnedFromServiceTimes) {
+  AdmissionOptions options;
+  options.adaptive = true;
+  options.min_inflight = 4;
+  options.heavy_service_factor = 4.0;
+  AdmissionController ac(options);
+  ASSERT_TRUE(ac.enabled());
+
+  constexpr int kCheap = 1;
+  constexpr int kHeavy = 3;
+  // Teach the model: cheap ops at ~1ms, heavy at ~50ms.
+  for (int i = 0; i < 5; ++i) {
+    bool heavy = false;
+    ASSERT_EQ(ac.Admit(std::nullopt, nullptr, kCheap, &heavy),
+              AdmissionOutcome::kAdmitted);
+    ac.Release(kCheap, 0.001, heavy);
+    ASSERT_EQ(ac.Admit(std::nullopt, nullptr, kHeavy, &heavy),
+              AdmissionOutcome::kAdmitted);
+    ac.Release(kHeavy, 0.050, heavy);
+  }
+  EXPECT_FALSE(ac.IsHeavyClass(kCheap));
+  EXPECT_TRUE(ac.IsHeavyClass(kHeavy));
+  EXPECT_NEAR(ac.ClassServiceEwma(kCheap), 0.001, 1e-9);
+  EXPECT_NEAR(ac.ClassServiceEwma(kHeavy), 0.050, 1e-9);
+}
+
+TEST(AdaptiveAdmissionTest, CheapOpsAreNotShedBehindHeavyOnes) {
+  AdmissionOptions options;
+  options.adaptive = true;
+  options.min_inflight = 4;       // Limit stays 4 (no adjustments yet).
+  options.heavy_share = 0.5;      // Heavy ops may hold 2 of the 4 slots.
+  options.adjust_interval = 1000; // Keep the limit fixed for the test.
+  AdmissionController ac(options);
+
+  constexpr int kCheap = 1;
+  constexpr int kHeavy = 3;
+  for (int i = 0; i < 5; ++i) {
+    bool heavy = false;
+    ASSERT_EQ(ac.Admit(std::nullopt, nullptr, kCheap, &heavy),
+              AdmissionOutcome::kAdmitted);
+    ac.Release(kCheap, 0.001, heavy);
+    ASSERT_EQ(ac.Admit(std::nullopt, nullptr, kHeavy, &heavy),
+              AdmissionOutcome::kAdmitted);
+    ac.Release(kHeavy, 0.050, heavy);
+  }
+
+  // Saturate the heavy share: two heavy ops occupy their slot cap.
+  bool h1 = false, h2 = false;
+  ASSERT_EQ(ac.Admit(std::nullopt, nullptr, kHeavy, &h1),
+            AdmissionOutcome::kAdmitted);
+  ASSERT_EQ(ac.Admit(std::nullopt, nullptr, kHeavy, &h2),
+            AdmissionOutcome::kAdmitted);
+  EXPECT_TRUE(h1);
+  EXPECT_TRUE(h2);
+  // A third heavy op cannot start (share exhausted) and sheds at its start
+  // deadline even though two general slots are free...
+  double waited = 0;
+  EXPECT_EQ(ac.Admit(std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(20),
+                     &waited, kHeavy),
+            AdmissionOutcome::kShedTimeout);
+  // ...while a cheap op walks straight into one of those free slots — the
+  // biclustering burst cannot starve the lookups.
+  bool cheap_heavy = true;
+  EXPECT_EQ(ac.Admit(std::nullopt, nullptr, kCheap, &cheap_heavy),
+            AdmissionOutcome::kAdmitted);
+  EXPECT_FALSE(cheap_heavy);
+  ac.Release(kCheap, 0.001, cheap_heavy);
+  ac.Release(kHeavy, 0.050, h1);
+  ac.Release(kHeavy, 0.050, h2);
+  EXPECT_EQ(ac.stats().shed_timeout, 1);
+}
+
+// --- counters delta ---------------------------------------------------------
+
+TEST(CountersDeltaTest, MismatchedShardVectorLengthsAreHandled) {
+  ServingCounters now;
+  now.shards.resize(4);
+  for (size_t s = 0; s < 4; ++s) {
+    now.shards[s].ops = 10 + static_cast<int64_t>(s);
+  }
+  now.cache.hits = 7;
+  now.flight.coalesced = 3;
+  now.stale_hits = 0;
+  now.reloads = 2;
+
+  ServingCounters since;
+  since.shards.resize(2);  // e.g. counters captured before a resize.
+  since.shards[0].ops = 4;
+  since.shards[1].ops = 5;
+  since.cache.hits = 2;
+  since.flight.coalesced = 1;
+  since.reloads = 1;
+
+  const ServingCounters d = CountersDelta(now, since);
+  ASSERT_EQ(d.shards.size(), 4u);
+  EXPECT_EQ(d.shards[0].ops, 6);   // 10 - 4.
+  EXPECT_EQ(d.shards[1].ops, 6);   // 11 - 5.
+  EXPECT_EQ(d.shards[2].ops, 12);  // No baseline: cumulative value kept.
+  EXPECT_EQ(d.shards[3].ops, 13);
+  EXPECT_EQ(d.cache.hits, 5);
+  EXPECT_EQ(d.flight.coalesced, 2);
+  EXPECT_EQ(d.reloads, 1);
+
+  // The reverse shape (baseline longer than current) must not read past
+  // the shorter vector either.
+  const ServingCounters r = CountersDelta(since, now);
+  ASSERT_EQ(r.shards.size(), 2u);
+  EXPECT_EQ(r.shards[0].ops, -6);
+}
+
+// --- reload / epochs through the stack --------------------------------------
+
+TEST(ServingStackTest, ReloadInvalidatesCacheAndAdvancesEpoch) {
+  auto stack = ServingStack::Create(CacheOnlyOptions(2),
+                                    engine::CreateColumnStoreUdf, TinyData());
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  ExecContext ctx;
+  const uint64_t epoch_before = (*stack)->current_epoch();
+  const auto first = (*stack)->Serve(core::QueryId::kRegression,
+                                     core::DatasetSize::kSmall, TinyOptions(),
+                                     &ctx);
+  ASSERT_TRUE(first.cell.status.ok()) << first.cell.status.ToString();
+  EXPECT_FALSE(first.cache_hit);
+  ASSERT_TRUE((*stack)->ReloadDataset(TinyData()).ok());
+  EXPECT_GT((*stack)->current_epoch(), epoch_before);
+
+  // Identical op after the reload: the old entry is unreachable (new epoch
+  // in the key), so this recomputes — and the result still matches, because
+  // the reloaded data is the same.
+  const auto second = (*stack)->Serve(core::QueryId::kRegression,
+                                      core::DatasetSize::kSmall,
+                                      TinyOptions(), &ctx);
+  EXPECT_FALSE(second.cache_hit);
+  ASSERT_TRUE(second.cell.status.ok());
+  EXPECT_TRUE(core::CompareQueryResults(first.cell.result,
+                                        second.cell.result).ok());
+  // And a third serve hits the new-epoch entry.
+  const auto third = (*stack)->Serve(core::QueryId::kRegression,
+                                     core::DatasetSize::kSmall, TinyOptions(),
+                                     &ctx);
+  EXPECT_TRUE(third.cache_hit);
+
+  const ServingCounters counters = (*stack)->counters();
+  EXPECT_EQ(counters.reloads, 1);
+  EXPECT_EQ(counters.cache.invalidated, 1);
+  EXPECT_EQ(counters.stale_hits, 0);
+  EXPECT_EQ(counters.cache.entries, counters.cache.insertions -
+                                        counters.cache.evictions -
+                                        counters.cache.invalidated);
+}
+
+/// Wraps a real engine but fails DoLoadDataset while the shared failure
+/// budget is positive — for driving mid-roll reload failures.
+class FailingLoadEngine : public core::Engine {
+ public:
+  static std::atomic<int>& fail_next_loads() {
+    static std::atomic<int> count{0};
+    return count;
+  }
+
+  FailingLoadEngine() : inner_(engine::CreateSciDb()) {}
+  std::string name() const override { return inner_->name(); }
+  bool SupportsQuery(core::QueryId query) const override {
+    return inner_->SupportsQuery(query);
+  }
+  void PrepareContext(ExecContext* ctx) override {
+    inner_->PrepareContext(ctx);
+  }
+  genbase::Result<core::QueryResult> RunQuery(
+      core::QueryId query, const core::QueryParams& params,
+      ExecContext* ctx) override {
+    return inner_->RunQuery(query, params, ctx);
+  }
+
+ protected:
+  genbase::Status DoLoadDataset(const core::GenBaseData& data) override {
+    int budget = fail_next_loads().load();
+    while (budget > 0 &&
+           !fail_next_loads().compare_exchange_weak(budget, budget - 1)) {
+    }
+    if (budget > 0) return genbase::Status::Internal("injected load failure");
+    return inner_->LoadDataset(data);
+  }
+  void DoUnloadDataset() override { inner_->UnloadDataset(); }
+
+ private:
+  std::unique_ptr<core::Engine> inner_;
+};
+
+TEST(ServingStackTest, FailedReloadHealsOnRetry) {
+  FailingLoadEngine::fail_next_loads() = 0;
+  auto stack = ServingStack::Create(
+      CacheOnlyOptions(2), [] { return std::make_unique<FailingLoadEngine>(); },
+      TinyData());
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  const uint64_t epoch0 = (*stack)->current_epoch();
+
+  // Mid-roll failure: the first shard's reload fails, the roll aborts, and
+  // the stack must NOT advance its epoch (the fleet still serves — and
+  // caches under — the old generation).
+  FailingLoadEngine::fail_next_loads() = 1;
+  EXPECT_FALSE((*stack)->ReloadDataset(TinyData()).ok());
+  EXPECT_EQ((*stack)->current_epoch(), epoch0);
+
+  // The retry targets the same generation again, so the fleet converges
+  // instead of drifting — and crucially, post-retry results are cacheable:
+  // a serve executes once and its repeat hits.
+  ASSERT_TRUE((*stack)->ReloadDataset(TinyData()).ok());
+  EXPECT_EQ((*stack)->current_epoch(), epoch0 + 1);
+  ExecContext ctx;
+  const auto first = (*stack)->Serve(core::QueryId::kRegression,
+                                     core::DatasetSize::kSmall, TinyOptions(),
+                                     &ctx);
+  ASSERT_TRUE(first.cell.status.ok()) << first.cell.status.ToString();
+  EXPECT_FALSE(first.cache_hit);
+  const auto second = (*stack)->Serve(core::QueryId::kRegression,
+                                      core::DatasetSize::kSmall,
+                                      TinyOptions(), &ctx);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ((*stack)->counters().stale_hits, 0);
+}
+
+TEST(ServingStackTest, ReloadWhileServingStaysCorrect) {
+  ServingOptions options = CacheOnlyOptions(2);
+  options.single_flight = true;
+  auto stack = ServingStack::Create(options, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(stack.ok());
+
+  workload::WorkloadSpec spec = SmokeSpec();
+  spec.param_variants = 2;
+  spec.measured_ops = 32;
+  workload::WorkloadRunner runner(spec);
+
+  std::atomic<bool> stop{false};
+  std::thread churn;
+  runner.set_on_measure_start([&] {
+    ASSERT_TRUE((*stack)->ReloadDataset(TinyData()).ok());
+    churn = std::thread([&] {
+      while (!stop.load()) {
+        ASSERT_TRUE((*stack)->ReloadDataset(TinyData()).ok());
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  });
+  auto report = runner.Run(stack->get(), TinyData());
+  stop.store(true);
+  if (churn.joinable()) churn.join();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Under continuous rolling reloads: every op still verified correct,
+  // no epoch-mismatched serve, and the measured delta saw the churn.
+  EXPECT_EQ(report->total.errors, 0);
+  EXPECT_EQ(report->total.verify_failures, 0);
+  EXPECT_EQ(report->total.shed(), 0);
+  EXPECT_EQ(report->serving.stale_hits, 0);
+  EXPECT_GE(report->serving.reloads, 1);
 }
 
 }  // namespace
