@@ -137,24 +137,29 @@ const std::vector<ServingEngineSpec>& ServingEngines() {
   return *engines;
 }
 
-std::string ExtractJsonPath(int* argc, char** argv) {
-  std::string path;
+std::string ExtractFlagValue(int* argc, char** argv, const std::string& flag) {
+  const std::string prefix = flag + "=";
+  std::string value;
   int out = 0;
   for (int i = 0; i < *argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      path = arg.substr(7);
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
       continue;
     }
-    if (arg == "--json" && i + 1 < *argc) {
-      path = argv[++i];
+    if (arg == flag && i + 1 < *argc) {
+      value = argv[++i];
       continue;
     }
     argv[out++] = argv[i];
   }
   *argc = out;
   argv[out] = nullptr;  // Keep the argv null-termination guarantee.
-  return path;
+  return value;
+}
+
+std::string ExtractJsonPath(int* argc, char** argv) {
+  return ExtractFlagValue(argc, argv, "--json");
 }
 
 genbase::Status WriteJsonReports(

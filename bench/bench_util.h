@@ -62,9 +62,12 @@ struct ServingEngineSpec {
 };
 const std::vector<ServingEngineSpec>& ServingEngines();
 
-/// Strips a `--json=PATH` (or `--json PATH`) flag out of argv — call before
-/// benchmark::Initialize, which rejects flags it does not know — and returns
-/// the path ("" when the flag is absent).
+/// Strips a `--flag=VALUE` (or `--flag VALUE`) pair out of argv — call
+/// before benchmark::Initialize, which rejects flags it does not know — and
+/// returns the value ("" when the flag is absent).
+std::string ExtractFlagValue(int* argc, char** argv, const std::string& flag);
+
+/// ExtractFlagValue for the shared `--json=PATH` report flag.
 std::string ExtractJsonPath(int* argc, char** argv);
 
 /// Dumps workload reports as one machine-readable JSON document

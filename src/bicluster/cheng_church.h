@@ -19,6 +19,29 @@ struct Bicluster {
   double mean_squared_residue = 0.0;
 };
 
+/// \brief Which residue engine drives the deletion/addition phases.
+///
+/// kIncremental maintains row/col sums, sums of squares and the squared-
+/// residue accumulator under single-node deletion/addition: per-iteration
+/// stat updates cost O(|I|+|J|), the mean squared residue H comes from the
+/// two-way ANOVA identity SSQ = Q - sum(S_r^2)/|J| - sum(S_c^2)/|I| +
+/// T^2/(|I||J|) in O(|I|+|J|), and the per-row/per-column residues reduce
+/// to two Gemv calls (2 FLOPs per cell) against a packed working submatrix
+/// instead of four scalar residue passes.
+///
+/// kReference is the original from-scratch implementation (recomputes
+/// SubmatrixStats + Msr + RowResidues + ColResidues every iteration). Kept
+/// as the cross-check oracle and the baseline kernelbench measures against.
+enum class ChengChurchImpl { kIncremental, kReference };
+
+/// \brief Work accounting for the residue engines, so the FLOP reduction is
+/// a measured number, not a claim. Counted analytically at each pass from
+/// the touched cell count.
+struct ChengChurchCounters {
+  int64_t residue_flops = 0;  ///< FLOPs spent on stats/residue computation.
+  int64_t iterations = 0;     ///< Deletion rounds + addition phases run.
+};
+
 struct ChengChurchOptions {
   double delta = 0.1;          ///< Max acceptable mean squared residue.
   double alpha = 1.2;          ///< Multiple-deletion aggressiveness.
@@ -26,6 +49,16 @@ struct ChengChurchOptions {
   int64_t min_rows = 2;
   int64_t min_cols = 2;
   uint64_t mask_seed = 7;      ///< Seed for masking found cells.
+
+  ChengChurchImpl impl = ChengChurchImpl::kIncremental;
+
+  /// Debug cross-check: after every incremental iteration, recompute stats
+  /// and residues from scratch via the reference helpers and fail loudly on
+  /// divergence beyond FP noise. O(|I|*|J|) per iteration — tests only.
+  bool cross_check = false;
+
+  /// Optional work accounting (see ChengChurchCounters). Not owned.
+  ChengChurchCounters* counters = nullptr;
 
   /// Invoked once per algorithm pass (each deletion round / addition phase).
   /// Engines that run the algorithm through a per-call interface (the column
@@ -47,7 +80,13 @@ double MeanSquaredResidue(const linalg::MatrixView& m,
 /// analytics step ("biclustering allows the simultaneous clustering of rows
 /// and columns of a matrix into sub-matrices with similar patterns").
 ///
-/// The input matrix is copied internally (masking mutates it).
+/// The input matrix is copied internally (masking mutates it). Results are
+/// deterministic for a given (input, options) pair. The two impls may pick
+/// different nodes when residues tie exactly, and may keep different
+/// survivors when the min_rows/min_cols floor truncates a multiple-deletion
+/// round (the incremental engine scans rows/cols in packed order, the
+/// reference in original order); both always honor delta/alpha and the
+/// floors.
 genbase::Result<std::vector<Bicluster>> ChengChurch(
     const linalg::MatrixView& data, const ChengChurchOptions& options,
     ExecContext* ctx = nullptr);

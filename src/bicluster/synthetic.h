@@ -1,0 +1,34 @@
+#ifndef GENBASE_BICLUSTER_SYNTHETIC_H_
+#define GENBASE_BICLUSTER_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace genbase::bicluster {
+
+/// \brief Uniform noise with a planted additive (row + col) block in the
+/// top-left third — the canonical low-residue bicluster Cheng & Church must
+/// find. Shared by the kernelbench residue gate and the property tests so
+/// both measure the same deletion trajectory: retuning the block constants
+/// in one place cannot silently change what the other checks.
+inline linalg::Matrix PlantedBiclusterMatrix(int64_t rows, int64_t cols,
+                                             uint64_t seed) {
+  linalg::Matrix m(rows, cols);
+  Rng rng(seed);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = 4.0 * rng.Uniform(0.0, 1.0);
+  }
+  for (int64_t i = 0; i < rows / 3; ++i) {
+    for (int64_t j = 0; j < cols / 3; ++j) {
+      m(i, j) = 0.08 * static_cast<double>(i) +
+                0.05 * static_cast<double>(j) + 0.02 * rng.Gaussian();
+    }
+  }
+  return m;
+}
+
+}  // namespace genbase::bicluster
+
+#endif  // GENBASE_BICLUSTER_SYNTHETIC_H_

@@ -27,6 +27,13 @@ void GemvTranspose(const MatrixView& a, const double* x, double* y,
                    ThreadPool* pool = nullptr);
 
 /// BLAS-3 -------------------------------------------------------------------
+///
+/// All BLAS-3 entry points dispatch on simd::ActiveBackend(): kScalar keeps
+/// the original cache-blocked loops, kSimd routes through a packed,
+/// register-blocked macro-kernel (GotoBLAS-style panel packing over the
+/// kernels.h micro-tiles, AVX2+FMA where the CPU has it). Both variants are
+/// bitwise-deterministic across thread counts: every C element is owned by
+/// one task and loop orders are fixed.
 
 /// C = A * B with cache-blocked tiles, parallel over row blocks. This is the
 /// "tuned linear algebra package" path (stands in for BLAS/MKL in the paper's
@@ -42,6 +49,14 @@ genbase::Status GemmTransposeA(const MatrixView& a, const MatrixView& b,
 /// C = A^T * A exploiting symmetry (computes upper triangle, mirrors).
 genbase::Status Syrk(const MatrixView& a, Matrix* c,
                      ThreadPool* pool = nullptr, ExecContext* ctx = nullptr);
+
+/// C = (A - 1 mu^T)^T (A - 1 mu^T): Syrk of the column-centered A, with the
+/// centering fused into operand packing so no centered copy of A is ever
+/// materialized (only one kKc x kNc pack panel at a time). `col_means` has
+/// a.cols entries. The building block behind the one-pass CovarianceMatrix.
+genbase::Status SyrkCentered(const MatrixView& a, const double* col_means,
+                             Matrix* c, ThreadPool* pool = nullptr,
+                             ExecContext* ctx = nullptr);
 
 /// Deliberately unoptimized ijk triple loop with column-strided access to B,
 /// single threaded. This is the "Mahout: no sophisticated linear algebra

@@ -27,18 +27,23 @@ genbase::Result<Matrix> CovarianceMatrix(const MatrixView& x,
   ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
 
   const std::vector<double> means = ColumnMeans(x);
-  GENBASE_ASSIGN_OR_RETURN(Matrix centered,
-                           Matrix::Create(x.rows, x.cols, tracker));
-  for (int64_t i = 0; i < x.rows; ++i) {
-    const double* src = x.data + i * x.stride;
-    double* dst = centered.Row(i);
-    for (int64_t j = 0; j < x.cols; ++j) dst[j] = src[j] - means[j];
-  }
   GENBASE_ASSIGN_OR_RETURN(Matrix cov,
                            Matrix::Create(x.cols, x.cols, tracker));
   if (quality == KernelQuality::kTuned) {
-    GENBASE_RETURN_NOT_OK(Syrk(MatrixView(centered), &cov, pool, ctx));
+    // One-pass fused path: SyrkCentered subtracts the means inside the
+    // panel packing, so the m x n centered copy the old implementation
+    // materialized (and charged to the memory budget) no longer exists.
+    GENBASE_RETURN_NOT_OK(SyrkCentered(x, means.data(), &cov, pool, ctx));
   } else {
+    // The naive path models Mahout-style hand-rolled analytics: it still
+    // materializes the centered matrix and runs the unblocked Syrk.
+    GENBASE_ASSIGN_OR_RETURN(Matrix centered,
+                             Matrix::Create(x.rows, x.cols, tracker));
+    for (int64_t i = 0; i < x.rows; ++i) {
+      const double* src = x.data + i * x.stride;
+      double* dst = centered.Row(i);
+      for (int64_t j = 0; j < x.cols; ++j) dst[j] = src[j] - means[j];
+    }
     GENBASE_RETURN_NOT_OK(SyrkNaive(MatrixView(centered), &cov, ctx));
   }
   const double inv = 1.0 / static_cast<double>(x.rows - 1);

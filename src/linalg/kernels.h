@@ -1,0 +1,52 @@
+#ifndef GENBASE_LINALG_KERNELS_H_
+#define GENBASE_LINALG_KERNELS_H_
+
+#include <cstdint>
+
+namespace genbase::linalg {
+
+/// Micro-kernel register-block geometry shared by the packed Gemm/Syrk macro
+/// loops and the pack routines: each micro-tile of C is kMr x kNr doubles
+/// (4 rows x two 4-wide vectors on AVX2 — 8 YMM accumulators, within the 16
+/// available).
+inline constexpr int64_t kMicroRows = 4;  // MR
+inline constexpr int64_t kMicroCols = 8;  // NR
+
+/// \brief The raw compute kernels behind the BLAS layer, selected at runtime
+/// so one binary carries both a portable scalar set and an AVX2+FMA set.
+///
+/// Packed operand layout (GotoBLAS-style):
+///  - A panel: micro-row strips; strip s holds ap[s*kc*kMr + k*kMr + r] =
+///    op(A)(i0 + s*kMr + r, k0 + k), zero-padded past the last valid row.
+///  - B panel: micro-col strips; strip t holds bp[t*kc*kNr + k*kNr + c] =
+///    B(k0 + k, j0 + t*kNr + c), zero-padded past the last valid column.
+struct KernelOps {
+  const char* name;
+
+  double (*dot)(const double* x, const double* y, int64_t n);
+  void (*axpy)(double alpha, const double* x, double* y, int64_t n);
+
+  /// C(kMicroRows x kMicroCols, row stride ldc) += Ap-strip * Bp-strip over
+  /// depth kc. Always operates on full (possibly zero-padded) tiles; edge
+  /// handling is the macro loop's job.
+  void (*gemm_micro)(int64_t kc, const double* ap, const double* bp,
+                     double* c, int64_t ldc);
+};
+
+/// Portable scalar kernels (always available; also the reference the
+/// property tests compare against).
+const KernelOps& ScalarKernels();
+
+/// AVX2+FMA kernels, or nullptr when the build target or the running CPU
+/// cannot execute them. Compiled with function-level target attributes so
+/// the rest of the binary stays baseline-ISA.
+const KernelOps* Avx2Kernels();
+
+/// The set the BLAS layer should use right now: honors
+/// simd::ActiveBackend(), falling back to scalar kernels when AVX2 is
+/// unavailable (the packed macro paths still run — just on scalar tiles).
+const KernelOps& ActiveKernels();
+
+}  // namespace genbase::linalg
+
+#endif  // GENBASE_LINALG_KERNELS_H_

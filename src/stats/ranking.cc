@@ -5,38 +5,35 @@
 
 namespace genbase::stats {
 
-std::vector<double> AverageRanks(const std::vector<double>& values) {
+RankedValues RankWithTies(const std::vector<double>& values) {
   const int64_t n = static_cast<int64_t>(values.size());
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
     return values[a] < values[b];
   });
-  std::vector<double> ranks(static_cast<size_t>(n), 0.0);
+  RankedValues out;
+  out.ranks.assign(static_cast<size_t>(n), 0.0);
   int64_t i = 0;
   while (i < n) {
+    const double v = values[order[i]];
     int64_t j = i;
-    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    while (j + 1 < n && values[order[j + 1]] == v) ++j;
     // Positions i..j (0-based) share the average of 1-based ranks i+1..j+1.
     const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
-    for (int64_t t = i; t <= j; ++t) ranks[order[t]] = avg;
+    for (int64_t t = i; t <= j; ++t) out.ranks[order[t]] = avg;
+    if (j > i) out.tie_group_sizes.push_back(j - i + 1);
     i = j + 1;
   }
-  return ranks;
+  return out;
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  return RankWithTies(values).ranks;
 }
 
 std::vector<int64_t> TieGroupSizes(const std::vector<double>& values) {
-  std::vector<double> sorted = values;
-  std::sort(sorted.begin(), sorted.end());
-  std::vector<int64_t> groups;
-  size_t i = 0;
-  while (i < sorted.size()) {
-    size_t j = i;
-    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
-    if (j > i) groups.push_back(static_cast<int64_t>(j - i + 1));
-    i = j + 1;
-  }
-  return groups;
+  return RankWithTies(values).tie_group_sizes;
 }
 
 }  // namespace genbase::stats

@@ -23,16 +23,17 @@ genbase::Result<RankSumResult> WilcoxonRankSum(
   const double n2 = static_cast<double>(r.n_out);
   const double n = n1 + n2;
 
-  const std::vector<double> ranks = AverageRanks(values);
+  // One index sort yields both the mid-ranks and the tie structure.
+  const RankedValues ranked = RankWithTies(values);
   for (size_t i = 0; i < values.size(); ++i) {
-    if (in_group[i]) r.rank_sum_in_group += ranks[i];
+    if (in_group[i]) r.rank_sum_in_group += ranked.ranks[i];
   }
   r.u_statistic = r.rank_sum_in_group - n1 * (n1 + 1.0) / 2.0;
 
   const double mean_u = n1 * n2 / 2.0;
   // Tie correction: var = n1 n2 /12 * (n+1 - sum(t^3 - t) / (n (n-1))).
   double tie_term = 0.0;
-  for (int64_t t : TieGroupSizes(values)) {
+  for (int64_t t : ranked.tie_group_sizes) {
     const double td = static_cast<double>(t);
     tie_term += td * td * td - td;
   }

@@ -112,6 +112,9 @@ std::string WorkloadReport::GridCell() const {
 
 void WorkloadReport::Print() const {
   std::printf("\n--- workload report: %s ---\n", Summary().c_str());
+  if (!kernel_backend.empty()) {
+    std::printf("  kernel backend: %s\n", kernel_backend.c_str());
+  }
   std::printf("  wall=%ss (modeled %ss)  mean=%s  p90=%s  p999=%s  max=%s\n",
               FormatSeconds(wall_seconds).c_str(),
               FormatSeconds(modeled_wall_seconds()).c_str(),
@@ -309,6 +312,8 @@ std::string WorkloadReport::ToJson() const {
   AppendKv(&out, "param_variants", static_cast<int64_t>(param_variants));
   out.push_back(',');
   AppendKv(&out, "seed", static_cast<int64_t>(seed));
+  out.append(",\"kernel_backend\":");
+  AppendEscaped(&out, kernel_backend);
   out.push_back(',');
   AppendKv(&out, "wall_seconds", wall_seconds);
   out.push_back(',');

@@ -77,6 +77,11 @@ struct WorkloadReport {
   int param_variants = 1;     ///< Distinct parameter variants in the mix.
   uint64_t seed = 0;
 
+  /// Which linalg kernel backend ("scalar" / "simd") produced these numbers,
+  /// so fig6–fig8 results are attributable to the kernel variant. Stamped by
+  /// WorkloadRunner from simd::ActiveBackend().
+  std::string kernel_backend;
+
   /// Open-loop runs: the offered arrival rate (spec.arrival_rate_qps), so
   /// goodput can be read against load. 0 for closed-loop runs.
   double offered_qps = 0.0;

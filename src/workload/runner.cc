@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/driver.h"
@@ -230,6 +231,7 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
   report.shards = shards;
   report.param_variants = spec_.param_variants;
   report.seed = spec_.seed;
+  report.kernel_backend = simd::BackendName(simd::ActiveBackend());
   report.wall_seconds = wall_seconds;
   if (open_loop) report.offered_qps = spec_.arrival_rate_qps;
   if (stack != nullptr) {

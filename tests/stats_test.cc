@@ -58,6 +58,60 @@ TEST(RankingTest, TieGroupSizes) {
   EXPECT_EQ(g[1], 3);
 }
 
+TEST(RankingTest, SingleSortProducesRanksAndTiesTogether) {
+  const std::vector<double> v = {7, 1, 7, 7, 3, 1};
+  const RankedValues r = RankWithTies(v);
+  // Sorted: 1 1 3 7 7 7 -> mid-ranks 1.5 1.5 3 5 5 5, groups {2, 3}.
+  EXPECT_DOUBLE_EQ(r.ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(r.ranks[5], 1.5);
+  EXPECT_DOUBLE_EQ(r.ranks[4], 3.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0], 5.0);
+  ASSERT_EQ(r.tie_group_sizes.size(), 2u);
+  EXPECT_EQ(r.tie_group_sizes[0], 2);
+  EXPECT_EQ(r.tie_group_sizes[1], 3);
+}
+
+TEST(RankingTest, TieHeavyRegression) {
+  // Tie-heavy inputs are the Wilcoxon (Q4/Q5) hot case: integer-quantized
+  // scores collapse into a few large tie runs. Check the fused single-sort
+  // path against a brute-force oracle on many random tie-heavy vectors.
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int64_t n = 1 + rng.UniformInt(0, 199);
+    std::vector<double> v(static_cast<size_t>(n));
+    for (auto& x : v) x = rng.UniformInt(0, 4);  // ~n/5 per tie run.
+    const RankedValues got = RankWithTies(v);
+    // Brute-force mid-rank: 1-based count of smaller values, plus half the
+    // remaining tied values (including self -> +0.5 each, +1 for self).
+    for (size_t i = 0; i < v.size(); ++i) {
+      int64_t smaller = 0, equal = 0;
+      for (size_t j = 0; j < v.size(); ++j) {
+        if (v[j] < v[i]) ++smaller;
+        if (v[j] == v[i]) ++equal;
+      }
+      const double want =
+          static_cast<double>(smaller) + 0.5 * static_cast<double>(equal + 1);
+      ASSERT_DOUBLE_EQ(got.ranks[i], want) << "trial=" << trial;
+    }
+    // Tie groups: multiset of value multiplicities > 1, ascending by value.
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int64_t> want_groups;
+    for (size_t i = 0; i < sorted.size();) {
+      size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      if (j > i) want_groups.push_back(static_cast<int64_t>(j - i + 1));
+      i = j + 1;
+    }
+    ASSERT_EQ(got.tie_group_sizes, want_groups) << "trial=" << trial;
+    // Mid-rank invariant: ranks always sum to n(n+1)/2.
+    double sum = 0;
+    for (double x : got.ranks) sum += x;
+    ASSERT_NEAR(sum, 0.5 * static_cast<double>(n) *
+                         static_cast<double>(n + 1), 1e-9);
+  }
+}
+
 // --- normal ---------------------------------------------------------------------
 
 TEST(NormalTest, KnownValues) {
