@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 
@@ -8,6 +9,9 @@
 #include "core/config.h"
 #include "core/generator.h"
 #include "engine/engines.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "workload/report.h"
 
 namespace genbase::bench {
@@ -160,6 +164,58 @@ std::string ExtractFlagValue(int* argc, char** argv, const std::string& flag) {
 
 std::string ExtractJsonPath(int* argc, char** argv) {
   return ExtractFlagValue(argc, argv, "--json");
+}
+
+ObsDumpPaths ExtractObsPaths(int* argc, char** argv) {
+  ObsDumpPaths paths;
+  paths.trace_path = ExtractFlagValue(argc, argv, "--trace");
+  paths.metrics_path = ExtractFlagValue(argc, argv, "--metrics");
+  if (paths.metrics_path.empty()) {
+    if (const char* env = std::getenv("GENBASE_METRICS_JSON")) {
+      paths.metrics_path = env;
+    }
+  }
+  return paths;
+}
+
+genbase::Status WriteObsDumps(const ObsDumpPaths& paths) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (!paths.trace_path.empty()) {
+    const std::vector<obs::Span> spans = tracer.TakeCollected();
+    if (!obs::WriteTextFile(paths.trace_path, obs::ChromeTraceJson(spans))) {
+      return genbase::Status::IOError("cannot write trace file: " +
+                                      paths.trace_path);
+    }
+    std::printf("# trace written to %s (%zu spans, %lld dropped)\n",
+                paths.trace_path.c_str(), spans.size(),
+                static_cast<long long>(tracer.spans_dropped()));
+    // The slow-query log rides along with the trace: same base name, so the
+    // two artifacts travel together through CI uploads.
+    std::string slow_path = paths.trace_path;
+    const std::string suffix = ".json";
+    if (slow_path.size() >= suffix.size() &&
+        slow_path.compare(slow_path.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+      slow_path.resize(slow_path.size() - suffix.size());
+    }
+    slow_path += ".slow.jsonl";
+    const std::vector<obs::SlowQueryRecord> slow = tracer.TakeSlowQueries();
+    if (!obs::WriteTextFile(slow_path, obs::SlowQueryJsonl(slow))) {
+      return genbase::Status::IOError("cannot write slow-query log: " +
+                                      slow_path);
+    }
+    std::printf("# slow-query log written to %s (%zu records)\n",
+                slow_path.c_str(), slow.size());
+  }
+  if (!paths.metrics_path.empty()) {
+    if (!obs::WriteTextFile(paths.metrics_path,
+                            obs::MetricsRegistry::Global().ToJson())) {
+      return genbase::Status::IOError("cannot write metrics file: " +
+                                      paths.metrics_path);
+    }
+    std::printf("# metrics written to %s\n", paths.metrics_path.c_str());
+  }
+  return genbase::Status::OK();
 }
 
 genbase::Status WriteJsonReports(

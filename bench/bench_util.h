@@ -70,6 +70,23 @@ std::string ExtractFlagValue(int* argc, char** argv, const std::string& flag);
 /// ExtractFlagValue for the shared `--json=PATH` report flag.
 std::string ExtractJsonPath(int* argc, char** argv);
 
+/// Observability dump destinations for a figure run (empty = skip).
+struct ObsDumpPaths {
+  std::string trace_path;    ///< Chrome trace_event JSON (+ .slow.jsonl).
+  std::string metrics_path;  ///< MetricsRegistry JSON snapshot.
+};
+
+/// Strips the shared `--trace=PATH` / `--metrics=PATH` flags (call before
+/// benchmark::Initialize, like ExtractJsonPath). When --metrics is absent,
+/// falls back to the GENBASE_METRICS_JSON environment variable.
+ObsDumpPaths ExtractObsPaths(int* argc, char** argv);
+
+/// Writes the requested observability artifacts: drains the global tracer
+/// into `trace_path` (Chrome trace JSON) plus the slow-query log next to it
+/// (trace path with a .slow.jsonl suffix), and snapshots the global metrics
+/// registry into `metrics_path`. Empty paths skip; short writes are errors.
+genbase::Status WriteObsDumps(const ObsDumpPaths& paths);
+
 /// Dumps workload reports as one machine-readable JSON document
 /// (`{"figure":…,"config":{scale,timeout},"reports":[…]}`), so perf
 /// trajectory can be captured into BENCH_*.json artifacts. No-op ("" path)

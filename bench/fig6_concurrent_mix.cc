@@ -145,6 +145,8 @@ int main(int argc, char** argv) {
   genbase::bench::PrintBanner(
       "Figure 6: concurrent mixed workload (serving view)");
   const std::string json_path = genbase::bench::ExtractJsonPath(&argc, argv);
+  const genbase::bench::ObsDumpPaths obs_paths =
+      genbase::bench::ExtractObsPaths(&argc, argv);
   genbase::bench::RegisterRuns();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -152,6 +154,11 @@ int main(int argc, char** argv) {
   std::vector<genbase::workload::WorkloadReport> reports;
   for (const auto& [key, report] : genbase::bench::Reports()) {
     reports.push_back(report);
+  }
+  const genbase::Status obs = genbase::bench::WriteObsDumps(obs_paths);
+  if (!obs.ok()) {
+    std::fprintf(stderr, "%s\n", obs.ToString().c_str());
+    return 1;
   }
   return genbase::bench::FigureExitCode(json_path, "fig6", reports, failures);
 }

@@ -33,6 +33,7 @@
 #include "core/config.h"
 #include "core/reference.h"
 #include "engine/engines.h"
+#include "obs/trace.h"
 #include "serving/serving_stack.h"
 #include "workload/report.h"
 #include "workload/runner.h"
@@ -307,6 +308,76 @@ int64_t PrintFigure() {
   return failures;
 }
 
+// --- observability gates -----------------------------------------------------
+
+/// Overhead gate: with tracing compiled in, 1% head sampling must cost <2%
+/// throughput against the same run with sampling off (rate 0 — the
+/// per-request cost is then one hash and a branch). The cell is the
+/// hit-heavy closed-loop corner (1 variant, 2 shards), whose achieved_qps
+/// is dominated by deterministic modeled time, so the comparison is stable;
+/// best-of-3 interleaved pairs cancels one-off scheduler noise, and the
+/// whole gate retries once before failing. Also checks the span-drop gate:
+/// the lock-free rings must not have dropped a single span at this scale.
+/// Returns the number of gate failures.
+int64_t RunObservabilityGates() {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const double saved_rate = tracer.sample_rate();
+
+  const ServingEngineSpec& engine = ServingEngines().front();
+  serving::ServingOptions options;
+  options.shards = 2;
+  options.cache_enabled = true;
+  workload::WorkloadSpec spec = BaseSpec(1);  // 1 variant: hit-heavy.
+  spec.warmup_ops = 10;
+  spec.measured_ops = 240;
+  spec.verify = false;  // The gate measures the serving path, not verify.
+
+  const auto cell_qps = [&](double rate) {
+    tracer.set_sample_rate(rate);
+    const auto report = RunOnce(engine, spec, options);
+    return report.ok() ? report->achieved_qps() : -1.0;
+  };
+
+  constexpr double kMaxOverhead = 0.02;
+  int64_t failures = 0;
+  double overhead = 0.0;
+  bool gate_ok = false;
+  bool run_failed = false;
+  for (int attempt = 0; attempt < 2 && !gate_ok && !run_failed; ++attempt) {
+    double best_off = 0.0;
+    double best_on = 0.0;
+    for (int pair = 0; pair < 3 && !run_failed; ++pair) {
+      const double qps_off = cell_qps(0.0);
+      const double qps_on = cell_qps(0.01);
+      run_failed = qps_off < 0 || qps_on < 0;
+      best_off = std::max(best_off, qps_off);
+      best_on = std::max(best_on, qps_on);
+    }
+    if (run_failed) break;
+    overhead = best_off > 0 ? (best_off - best_on) / best_off : 0.0;
+    gate_ok = overhead <= kMaxOverhead;
+  }
+  tracer.set_sample_rate(saved_rate);
+  if (run_failed) {
+    std::printf("# overhead gate FAIL: gate cell did not run\n");
+    ++failures;
+  } else {
+    std::printf(
+        "# overhead gate %s: 1%% sampling costs %.2f%% throughput "
+        "(limit %.0f%%)\n",
+        gate_ok ? "PASS" : "FAIL", overhead * 100, kMaxOverhead * 100);
+    if (!gate_ok) ++failures;
+  }
+
+  const int64_t dropped = tracer.spans_dropped();
+  std::printf("# span-drop gate %s: %lld spans dropped (%lld recorded)\n",
+              dropped == 0 ? "PASS" : "FAIL",
+              static_cast<long long>(dropped),
+              static_cast<long long>(tracer.spans_recorded()));
+  if (dropped != 0) ++failures;
+  return failures;
+}
+
 }  // namespace
 }  // namespace genbase::bench
 
@@ -314,14 +385,23 @@ int main(int argc, char** argv) {
   genbase::bench::PrintBanner(
       "Figure 7: serving stack — cache, admission control, shards");
   const std::string json_path = genbase::bench::ExtractJsonPath(&argc, argv);
+  const genbase::bench::ObsDumpPaths obs_paths =
+      genbase::bench::ExtractObsPaths(&argc, argv);
   genbase::bench::RegisterCacheShardSweep();
   genbase::bench::RegisterOverloadSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const int64_t failures = genbase::bench::PrintFigure();
+  const int64_t gate_failures = genbase::bench::RunObservabilityGates();
   std::vector<genbase::workload::WorkloadReport> reports;
   for (const auto& [key, report] : genbase::bench::Reports()) {
     reports.push_back(report);
   }
-  return genbase::bench::FigureExitCode(json_path, "fig7", reports, failures);
+  const genbase::Status obs = genbase::bench::WriteObsDumps(obs_paths);
+  if (!obs.ok()) {
+    std::fprintf(stderr, "%s\n", obs.ToString().c_str());
+    return 1;
+  }
+  return genbase::bench::FigureExitCode(json_path, "fig7", reports,
+                                        failures + gate_failures);
 }

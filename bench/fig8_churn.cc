@@ -40,6 +40,7 @@
 #include "core/config.h"
 #include "core/reference.h"
 #include "engine/engines.h"
+#include "obs/trace.h"
 #include "serving/serving_stack.h"
 #include "workload/report.h"
 #include "workload/runner.h"
@@ -357,6 +358,14 @@ int64_t PrintFigure() {
         "# GATE: no single-flight cell coalesced a concurrent miss\n");
     ++gate_misses;
   }
+  // Span-drop gate: churn + stampede exercise every span site under
+  // contention; at this scale the lock-free rings must never overflow.
+  const int64_t dropped = obs::Tracer::Global().spans_dropped();
+  if (dropped != 0) {
+    std::printf("# GATE: tracer dropped %lld spans (ring overflow)\n",
+                static_cast<long long>(dropped));
+    ++gate_misses;
+  }
   std::printf(
       "\n# verification: %lld operation errors/mismatches, %lld stale hits "
       "(epoch-mismatched serves), %lld coalesced misses in single-flight "
@@ -375,6 +384,8 @@ int main(int argc, char** argv) {
       "Figure 8: serving under churn — epoch invalidation, single-flight, "
       "adaptive admission");
   const std::string json_path = genbase::bench::ExtractJsonPath(&argc, argv);
+  const genbase::bench::ObsDumpPaths obs_paths =
+      genbase::bench::ExtractObsPaths(&argc, argv);
   genbase::bench::RegisterChurnSweep();
   genbase::bench::RegisterStampedeSweep();
   benchmark::Initialize(&argc, argv);
@@ -383,6 +394,11 @@ int main(int argc, char** argv) {
   std::vector<genbase::workload::WorkloadReport> reports;
   for (const auto& [key, report] : genbase::bench::Reports()) {
     reports.push_back(report);
+  }
+  const genbase::Status obs = genbase::bench::WriteObsDumps(obs_paths);
+  if (!obs.ok()) {
+    std::fprintf(stderr, "%s\n", obs.ToString().c_str());
+    return 1;
   }
   return genbase::bench::FigureExitCode(json_path, "fig8", reports, failures);
 }

@@ -1,0 +1,132 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace genbase::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string Hex(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Span>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    AppendEscaped(&out, span.name);
+    out.append("\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":");
+    out.append(Num(span.start_s * 1e6));
+    out.append(",\"dur\":");
+    out.append(Num(span.dur_s * 1e6));
+    out.append(",\"pid\":1,\"tid\":");
+    out.append(std::to_string(span.tid));
+    out.append(",\"args\":{\"trace_id\":\"");
+    out.append(Hex(span.trace_id));
+    out.append("\",\"span_id\":");
+    out.append(std::to_string(span.span_id));
+    out.append(",\"parent_id\":");
+    out.append(std::to_string(span.parent_id));
+    if (span.synthetic) out.append(",\"synthetic\":true");
+    if (span.detail[0] != '\0') {
+      out.append(",\"detail\":\"");
+      AppendEscaped(&out, span.detail);
+      out.push_back('"');
+    }
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string SlowQueryJsonl(const std::vector<SlowQueryRecord>& records) {
+  std::string out;
+  for (const SlowQueryRecord& r : records) {
+    out.append("{\"trace_id\":\"");
+    out.append(Hex(r.trace_id));
+    out.append("\",\"workload\":\"");
+    AppendEscaped(&out, r.workload);
+    out.append("\",\"query\":\"");
+    AppendEscaped(&out, r.query);
+    out.append("\",\"variant\":");
+    out.append(std::to_string(r.variant));
+    out.append(",\"class_id\":");
+    out.append(std::to_string(r.class_id));
+    out.append(",\"start_s\":");
+    out.append(Num(r.start_s));
+    out.append(",\"latency_s\":");
+    out.append(Num(r.latency_s));
+    out.append(",\"stages_s\":{");
+    for (int i = 0; i < kNumRequestStages; ++i) {
+      if (i > 0) out.push_back(',');
+      out.push_back('"');
+      out.append(RequestStageName(static_cast<RequestStage>(i)));
+      out.append("\":");
+      out.append(Num(r.stages.s[i]));
+    }
+    out.append("},\"shed\":");
+    out.append(r.shed ? "true" : "false");
+    out.append(",\"stale_tripwire\":");
+    out.append(r.stale_tripwire ? "true" : "false");
+    out.append(",\"deadline_missed\":");
+    out.append(r.deadline_missed ? "true" : "false");
+    out.append(",\"verify_failed\":");
+    out.append(r.verify_failed ? "true" : "false");
+    out.append(",\"slowest\":");
+    out.append(r.slowest ? "true" : "false");
+    out.append("}\n");
+  }
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f.is_open()) return false;
+  f.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  return f.good();
+}
+
+}  // namespace genbase::obs
+

@@ -1,0 +1,25 @@
+#ifndef GENBASE_OBS_TRACE_EXPORT_H_
+#define GENBASE_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace genbase::obs {
+
+/// Renders spans as Chrome trace_event JSON ("X" complete events), loadable
+/// in Perfetto / chrome://tracing. Trace and span ids are carried in args
+/// (hex strings — trace ids exceed JSON's exact-integer range).
+std::string ChromeTraceJson(const std::vector<Span>& spans);
+
+/// Renders the slow-query log as JSONL: one JSON object per line, one line
+/// per tail-kept request, with per-stage seconds and the keep reasons.
+std::string SlowQueryJsonl(const std::vector<SlowQueryRecord>& records);
+
+/// Writes `contents` to `path` (truncating). Returns false on I/O error.
+bool WriteTextFile(const std::string& path, const std::string& contents);
+
+}  // namespace genbase::obs
+
+#endif  // GENBASE_OBS_TRACE_EXPORT_H_

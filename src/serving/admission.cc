@@ -48,12 +48,36 @@ int AdaptiveNextLimit(const AdmissionOptions& options, int current_limit,
 
 AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(options),
+      instance_(obs::MetricsRegistry::NextInstanceId("admission")),
       // Adaptive mode starts low and probes up: under-admitting briefly at
       // startup only queues work, while over-admitting puts every service
       // time past target before the first adjustment can react.
       limit_(options.adaptive ? std::max(1, options.min_inflight)
                               : options.max_inflight) {
-  counters_.current_limit = limit_;
+  auto& reg = obs::MetricsRegistry::Global();
+  const obs::Labels labels{{"instance", instance_}};
+  admitted_ = reg.GetCounter("serving_admission_admitted_total", labels);
+  shed_queue_full_ =
+      reg.GetCounter("serving_admission_shed_queue_full_total", labels);
+  shed_timeout_ =
+      reg.GetCounter("serving_admission_shed_timeout_total", labels);
+  peak_queue_gauge_ = reg.GetGauge("serving_admission_peak_queue", labels);
+  limit_gauge_ = reg.GetGauge("serving_admission_limit", labels);
+  limit_gauge_->Set(limit_);
+}
+
+obs::Counter* AdmissionController::ShedCounterLocked(int class_id) {
+  auto it = shed_by_class_.find(class_id);
+  if (it == shed_by_class_.end()) {
+    it = shed_by_class_
+             .emplace(class_id,
+                      obs::MetricsRegistry::Global().GetCounter(
+                          "serving_admission_shed_total",
+                          {{"instance", instance_},
+                           {"class", std::to_string(class_id)}}))
+             .first;
+  }
+  return it->second;
 }
 
 bool AdmissionController::IsHeavyLocked(int class_id) const {
@@ -114,7 +138,8 @@ AdmissionOutcome AdmissionController::Admit(
   // models the instant the op's client gave up; executing past it would be
   // wasted work counted as goodput.
   if (expired()) {
-    ++counters_.shed_timeout;
+    shed_timeout_->Inc();
+    ShedCounterLocked(class_id)->Inc();
     return AdmissionOutcome::kShedTimeout;
   }
   // Heaviness is decided on arrival and kept for this op's whole admission
@@ -123,12 +148,13 @@ AdmissionOutcome AdmissionController::Admit(
   const bool heavy = IsHeavyLocked(class_id);
   if (!CanStartLocked(heavy)) {
     if (waiting_ >= MaxQueueLocked()) {
-      ++counters_.shed_queue_full;
+      shed_queue_full_->Inc();
+      ShedCounterLocked(class_id)->Inc();
       ++sheds_since_adjust_;
       return AdmissionOutcome::kShedQueueFull;
     }
     ++waiting_;
-    counters_.peak_queue = std::max<int64_t>(counters_.peak_queue, waiting_);
+    peak_queue_gauge_->SetMax(waiting_);
     while (!CanStartLocked(heavy) && !expired()) {
       if (start_deadline.has_value()) {
         slot_free_.wait_until(lock, *start_deadline);
@@ -141,7 +167,8 @@ AdmissionOutcome AdmissionController::Admit(
     // Shed if the start deadline passed in queue — even when a slot freed
     // in the same instant, the client is already gone.
     if (!CanStartLocked(heavy) || expired()) {
-      ++counters_.shed_timeout;
+      shed_timeout_->Inc();
+      ShedCounterLocked(class_id)->Inc();
       // If this waiter consumed a Release() wakeup and then shed on its own
       // deadline, capacity may still be free — pass the wakeup along so
       // another waiter is not left sleeping next to idle capacity.
@@ -154,7 +181,7 @@ AdmissionOutcome AdmissionController::Admit(
   ++inflight_;
   if (heavy) ++heavy_inflight_;
   if (admitted_heavy != nullptr) *admitted_heavy = heavy;
-  ++counters_.admitted;
+  admitted_->Inc();
   return AdmissionOutcome::kAdmitted;
 }
 
@@ -186,7 +213,7 @@ void AdmissionController::Release(int class_id, double service_s,
       limit_ = AdaptiveNextLimit(options_, limit_, service_ewma_s_,
                                  queue_ewma_, sheds_since_adjust_);
       sheds_since_adjust_ = 0;
-      counters_.current_limit = limit_;
+      limit_gauge_->Set(limit_);
     }
   }
   // notify_all, not notify_one: with per-class slot shares, the runnable
@@ -197,8 +224,15 @@ void AdmissionController::Release(int class_id, double service_s,
 
 AdmissionStats AdmissionController::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  AdmissionStats s = counters_;
+  AdmissionStats s;
+  s.admitted = admitted_->Value();
+  s.shed_queue_full = shed_queue_full_->Value();
+  s.shed_timeout = shed_timeout_->Value();
+  s.peak_queue = static_cast<int64_t>(peak_queue_gauge_->Value());
   s.current_limit = limit_;
+  for (const auto& [class_id, counter] : shed_by_class_) {
+    s.shed_by_class[class_id] = counter->Value();
+  }
   return s;
 }
 

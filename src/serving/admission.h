@@ -7,7 +7,9 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string>
 
+#include "obs/metrics.h"
 #include "serving/counters.h"
 
 namespace genbase::serving {
@@ -146,8 +148,12 @@ class AdmissionController {
   bool CanStartLocked(bool heavy) const;
   int HeavyCapLocked() const;
   int MaxQueueLocked() const;
+  /// Registry shed counter for `class_id` (serving_admission_shed_total with
+  /// a class label), resolved lazily on first shed of that class.
+  obs::Counter* ShedCounterLocked(int class_id);
 
   const AdmissionOptions options_;
+  const std::string instance_;  ///< Registry instance label value.
 
   mutable std::mutex mu_;
   std::condition_variable slot_free_;
@@ -161,7 +167,16 @@ class AdmissionController {
   int completions_since_adjust_ = 0;
   int64_t sheds_since_adjust_ = 0;  ///< Queue-full sheds (demand signal).
   std::map<int, ClassStat> classes_;
-  AdmissionStats counters_;
+
+  /// Live counters are registry instruments (serving_admission_* with this
+  /// instance's label), incremented under mu_ so stats() snapshots stay
+  /// exact and mutually consistent.
+  obs::Counter* admitted_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_timeout_;
+  obs::Gauge* peak_queue_gauge_;
+  obs::Gauge* limit_gauge_;
+  std::map<int, obs::Counter*> shed_by_class_;
 };
 
 }  // namespace genbase::serving

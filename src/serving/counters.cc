@@ -1,0 +1,50 @@
+#include "serving/counters.h"
+
+#include <cstddef>
+#include <initializer_list>
+
+namespace genbase::serving {
+
+namespace {
+
+/// Subtracts `since` from `now` for each listed cumulative member. One list
+/// per struct, each field named exactly once — the per-field arithmetic that
+/// used to be copy-pasted (and was easy to leave a field out of) now cannot
+/// drift from the member lists below.
+template <typename T>
+void SubtractEach(T* now, const T& since,
+                  std::initializer_list<int64_t T::*> members) {
+  for (auto member : members) now->*member -= since.*member;
+}
+
+}  // namespace
+
+ServingCounters CountersDelta(const ServingCounters& now,
+                              const ServingCounters& since) {
+  ServingCounters d = now;
+  SubtractEach(&d.cache, since.cache,
+               {&CacheStats::hits, &CacheStats::misses,
+                &CacheStats::insertions, &CacheStats::evictions,
+                &CacheStats::invalidated, &CacheStats::rejected_oversize});
+  SubtractEach(&d.admission, since.admission,
+               {&AdmissionStats::admitted, &AdmissionStats::shed_queue_full,
+                &AdmissionStats::shed_timeout});
+  for (const auto& [class_id, shed] : since.admission.shed_by_class) {
+    d.admission.shed_by_class[class_id] -= shed;
+  }
+  SubtractEach(&d.flight, since.flight,
+               {&SingleFlightStats::leaders, &SingleFlightStats::coalesced,
+                &SingleFlightStats::coalesced_served,
+                &SingleFlightStats::follower_fallbacks,
+                &SingleFlightStats::shed_wait_timeout});
+  d.stale_hits -= since.stale_hits;
+  d.reloads -= since.reloads;
+  for (size_t s = 0; s < d.shards.size() && s < since.shards.size(); ++s) {
+    SubtractEach(&d.shards[s], since.shards[s],
+                 {&ShardStats::ops, &ShardStats::errors, &ShardStats::infs});
+    d.shards[s].busy_s -= since.shards[s].busy_s;
+  }
+  return d;
+}
+
+}  // namespace genbase::serving

@@ -2,6 +2,7 @@
 #define GENBASE_SERVING_COUNTERS_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 namespace genbase::serving {
@@ -9,6 +10,13 @@ namespace genbase::serving {
 /// Plain counter snapshots of the three serving layers. Kept in this light
 /// header (no engine/cluster/cache machinery) so WorkloadReport can embed
 /// them without the workload layer depending on the full serving stack.
+///
+/// These are *views*: since the observability PR the live counters are
+/// obs::MetricsRegistry instruments (one time series per component instance,
+/// exported via PrometheusText/ToJson), and each component's stats() method
+/// materializes this struct from its instrument handles. The structs stay so
+/// WorkloadReport and the figure gates keep a typed, snapshot-consistent API
+/// instead of string-keyed registry lookups.
 
 /// \brief Result-cache counters. hits/misses/insertions/evictions/
 /// invalidated/rejected_oversize are cumulative; entries/bytes are current
@@ -45,6 +53,10 @@ struct AdmissionStats {
   int64_t shed_timeout = 0;
   int64_t peak_queue = 0;
   int64_t current_limit = 0;
+  /// Sheds (queue-full + timeout) by admission class (the serving stack
+  /// passes the query id), so an overload report can say *which* query
+  /// class paid for the shortfall, not just how much was shed in total.
+  std::map<int, int64_t> shed_by_class;
 
   int64_t shed() const { return shed_queue_full + shed_timeout; }
 };

@@ -83,20 +83,33 @@ int64_t ApproxResultBytes(const core::QueryResult& result) {
 }
 
 ResultCache::ResultCache(int64_t max_entries, int64_t max_bytes)
-    : max_entries_(max_entries), max_bytes_(max_bytes) {}
+    : max_entries_(max_entries), max_bytes_(max_bytes) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const obs::Labels labels{
+      {"instance", obs::MetricsRegistry::NextInstanceId("cache")}};
+  hits_ = reg.GetCounter("serving_cache_hits_total", labels);
+  misses_ = reg.GetCounter("serving_cache_misses_total", labels);
+  insertions_ = reg.GetCounter("serving_cache_insertions_total", labels);
+  evictions_ = reg.GetCounter("serving_cache_evictions_total", labels);
+  invalidated_ = reg.GetCounter("serving_cache_invalidated_total", labels);
+  rejected_oversize_ =
+      reg.GetCounter("serving_cache_rejected_oversize_total", labels);
+  entries_gauge_ = reg.GetGauge("serving_cache_entries", labels);
+  bytes_gauge_ = reg.GetGauge("serving_cache_bytes", labels);
+}
 
 bool ResultCache::Lookup(const CacheKey& key, core::QueryResult* out,
                          uint64_t* entry_epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++counters_.misses;
+    misses_->Inc();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   if (out != nullptr) *out = it->second->value;
   if (entry_epoch != nullptr) *entry_epoch = it->second->epoch;
-  ++counters_.hits;
+  hits_->Inc();
   return true;
 }
 
@@ -117,7 +130,7 @@ void ResultCache::Insert(const CacheKey& key, const core::QueryResult& value) {
     // configuration signal (max_bytes too small for the workload's replies),
     // and without the counter insertions/evictions/entries still reconcile,
     // so the drop would be invisible in any report.
-    ++counters_.rejected_oversize;
+    rejected_oversize_->Inc();
     return;
   }
   auto it = index_.find(key);
@@ -133,9 +146,10 @@ void ResultCache::Insert(const CacheKey& key, const core::QueryResult& value) {
     lru_.push_front(Entry{key, value, bytes, key.epoch});
     index_[key] = lru_.begin();
     bytes_ += bytes;
-    ++counters_.insertions;
+    insertions_->Inc();
   }
   EvictWhileOverLocked();
+  UpdateGaugesLocked();
 }
 
 void ResultCache::EvictWhileOverLocked() {
@@ -145,8 +159,13 @@ void ResultCache::EvictWhileOverLocked() {
     bytes_ -= victim.bytes;
     index_.erase(victim.key);
     lru_.pop_back();
-    ++counters_.evictions;
+    evictions_->Inc();
   }
+}
+
+void ResultCache::UpdateGaugesLocked() {
+  entries_gauge_->Set(static_cast<double>(lru_.size()));
+  bytes_gauge_->Set(static_cast<double>(bytes_));
 }
 
 int64_t ResultCache::InvalidateEpochsBelow(uint64_t epoch) {
@@ -162,21 +181,29 @@ int64_t ResultCache::InvalidateEpochsBelow(uint64_t epoch) {
       ++it;
     }
   }
-  counters_.invalidated += removed;
+  invalidated_->Inc(removed);
+  UpdateGaugesLocked();
   return removed;
 }
 
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_.invalidated += static_cast<int64_t>(lru_.size());
+  invalidated_->Inc(static_cast<int64_t>(lru_.size()));
   lru_.clear();
   index_.clear();
   bytes_ = 0;
+  UpdateGaugesLocked();
 }
 
 CacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  CacheStats s = counters_;
+  CacheStats s;
+  s.hits = hits_->Value();
+  s.misses = misses_->Value();
+  s.insertions = insertions_->Value();
+  s.evictions = evictions_->Value();
+  s.invalidated = invalidated_->Value();
+  s.rejected_oversize = rejected_oversize_->Value();
   s.entries = static_cast<int64_t>(lru_.size());
   s.bytes = bytes_;
   return s;

@@ -8,6 +8,7 @@
 
 #include "core/datasets.h"
 #include "core/queries.h"
+#include "obs/metrics.h"
 #include "serving/counters.h"
 
 namespace genbase::serving {
@@ -103,6 +104,7 @@ class ResultCache {
   };
 
   void EvictWhileOverLocked();
+  void UpdateGaugesLocked();
 
   const int64_t max_entries_;
   const int64_t max_bytes_;
@@ -111,7 +113,19 @@ class ResultCache {
   std::list<Entry> lru_;  ///< Front = most recently used.
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index_;
   int64_t bytes_ = 0;
-  CacheStats counters_;
+
+  /// Live counters are registry instruments (serving_cache_* with this
+  /// instance's label) so every export path sees them; they are only
+  /// incremented under mu_, so stats() — also under mu_ — reads an exact,
+  /// mutually consistent snapshot despite the relaxed atomics underneath.
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* insertions_;
+  obs::Counter* evictions_;
+  obs::Counter* invalidated_;
+  obs::Counter* rejected_oversize_;
+  obs::Gauge* entries_gauge_;
+  obs::Gauge* bytes_gauge_;
 };
 
 }  // namespace genbase::serving

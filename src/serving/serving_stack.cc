@@ -31,34 +31,6 @@ void ChargeModeledGlue(core::CellResult* cell, double seconds,
 
 }  // namespace
 
-ServingCounters CountersDelta(const ServingCounters& now,
-                              const ServingCounters& since) {
-  ServingCounters d = now;
-  d.cache.hits -= since.cache.hits;
-  d.cache.misses -= since.cache.misses;
-  d.cache.insertions -= since.cache.insertions;
-  d.cache.evictions -= since.cache.evictions;
-  d.cache.invalidated -= since.cache.invalidated;
-  d.cache.rejected_oversize -= since.cache.rejected_oversize;
-  d.admission.admitted -= since.admission.admitted;
-  d.admission.shed_queue_full -= since.admission.shed_queue_full;
-  d.admission.shed_timeout -= since.admission.shed_timeout;
-  d.flight.leaders -= since.flight.leaders;
-  d.flight.coalesced -= since.flight.coalesced;
-  d.flight.coalesced_served -= since.flight.coalesced_served;
-  d.flight.follower_fallbacks -= since.flight.follower_fallbacks;
-  d.flight.shed_wait_timeout -= since.flight.shed_wait_timeout;
-  d.stale_hits -= since.stale_hits;
-  d.reloads -= since.reloads;
-  for (size_t s = 0; s < d.shards.size() && s < since.shards.size(); ++s) {
-    d.shards[s].ops -= since.shards[s].ops;
-    d.shards[s].errors -= since.shards[s].errors;
-    d.shards[s].infs -= since.shards[s].infs;
-    d.shards[s].busy_s -= since.shards[s].busy_s;
-  }
-  return d;
-}
-
 ServingStack::ServingStack(const ServingOptions& options,
                            std::unique_ptr<ShardRouter> router)
     : options_(options),
@@ -68,6 +40,19 @@ ServingStack::ServingStack(const ServingOptions& options,
       epoch_(router_->dataset_epoch()) {
   const auto& c = core::SimConfig::Get();
   net_ = cluster::NetworkModel{c.net_bandwidth_bytes_per_s, c.net_latency_s};
+  auto& reg = obs::MetricsRegistry::Global();
+  const obs::Labels labels{
+      {"instance", obs::MetricsRegistry::NextInstanceId("stack")}};
+  stale_hits_ = reg.GetCounter("serving_stack_stale_hits_total", labels);
+  reloads_ = reg.GetCounter("serving_stack_reloads_total", labels);
+  flight_leaders_ = reg.GetCounter("serving_flight_leaders_total", labels);
+  flight_coalesced_ = reg.GetCounter("serving_flight_coalesced_total", labels);
+  flight_coalesced_served_ =
+      reg.GetCounter("serving_flight_coalesced_served_total", labels);
+  flight_follower_fallbacks_ =
+      reg.GetCounter("serving_flight_follower_fallbacks_total", labels);
+  flight_shed_wait_timeout_ =
+      reg.GetCounter("serving_flight_shed_wait_timeout_total", labels);
 }
 
 genbase::Result<std::unique_ptr<ServingStack>> ServingStack::Create(
@@ -89,7 +74,7 @@ genbase::Status ServingStack::ReloadDataset(const core::GenBaseData& data) {
   // never wrongly served.
   const uint64_t epoch = router_->dataset_epoch();
   epoch_.store(epoch, std::memory_order_release);
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reloads_->Inc();
   cache_.InvalidateEpochsBelow(epoch);
   return genbase::Status::OK();
 }
@@ -130,6 +115,10 @@ ServeResult ServingStack::ServedFromTier(core::QueryId query,
                           net_.TransferSeconds(ApproxResultBytes(cell.result)),
                       options.timeout_seconds);
   }
+  // Stage accounting: the real lookup time is the cache stage, the modeled
+  // round trip is the dispatch stage — together they are the whole cell.
+  served.stages[obs::RequestStage::kCache] = spent_s;
+  served.stages[obs::RequestStage::kDispatch] = cell.total_s - spent_s;
   return served;
 }
 
@@ -162,7 +151,9 @@ ServeResult ServingStack::Serve(
   const std::optional<std::chrono::steady_clock::time_point> start_deadline =
       StartDeadline(scheduled_arrival);
 
+  bool stale_tripwire = false;
   if (options_.cache_enabled) {
+    obs::ScopedSpan cache_span("cache");
     WallTimer lookup_timer;
     core::QueryResult cached;
     uint64_t entry_epoch = 0;
@@ -178,18 +169,25 @@ ServeResult ServingStack::Serve(
         // Hit: answered at the serving tier. The op costs the lookup
         // (real) plus the modeled request/response round trip — no engine
         // work.
+        cache_span.SetDetail("hit");
         return ServedFromTier(query, size, std::move(cached),
                               lookup_timer.Seconds(), options,
                               /*coalesced=*/false);
       }
-      stale_hits_.fetch_add(1, std::memory_order_relaxed);
+      stale_hits_->Inc();
+      stale_tripwire = true;
+      cache_span.SetDetail("stale-tripwire");
     }
   }
 
+  // Flight wait a follower carries into a solo fallback (leader failed):
+  // real queueing this op experienced, folded into its admission_wait_s and
+  // flight stage below rather than dropped.
+  double fallback_wait_s = 0.0;
   if (options_.cache_enabled && options_.single_flight) {
     std::shared_ptr<SingleFlightTable::Flight> flight;
     if (flights_.Join(key, &flight) == SingleFlightTable::Role::kLeader) {
-      flight_leaders_.fetch_add(1, std::memory_order_relaxed);
+      flight_leaders_->Inc();
       // Double-check before executing: a previous flight on this key may
       // have published between this op's miss and its join, in which case
       // the work is already cached and re-running it would be exactly the
@@ -198,23 +196,29 @@ ServeResult ServingStack::Serve(
       core::QueryResult cached;
       if (cache_.Peek(key, &cached)) {
         flights_.Publish(key, flight, /*ok=*/true, cached);
-        return ServedFromTier(query, size, std::move(cached), 0.0, options,
-                              /*coalesced=*/false);
+        ServeResult result = ServedFromTier(query, size, std::move(cached),
+                                            0.0, options,
+                                            /*coalesced=*/false);
+        result.stale_tripwire = stale_tripwire;
+        return result;
       }
-      return ExecuteMiss(key, query, size, options, ctx, start_deadline,
-                         flight);
+      ServeResult result = ExecuteMiss(key, query, size, options, ctx,
+                                       start_deadline, flight);
+      result.stale_tripwire = stale_tripwire;
+      return result;
     }
     // Follower: the identical computation is already running — wait for its
     // result instead of stampeding the engines. Bounded by the same start
     // deadline admission would apply: past it, the op's client is gone.
-    flight_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    flight_coalesced_->Inc();
+    obs::ScopedSpan flight_span("flight");
     WallTimer wait_timer;
     core::QueryResult flown;
     const SingleFlightTable::WaitResult wait =
         SingleFlightTable::Wait(flight.get(), start_deadline, &flown);
     switch (wait) {
       case SingleFlightTable::WaitResult::kServed: {
-        flight_coalesced_served_.fetch_add(1, std::memory_order_relaxed);
+        flight_coalesced_served_->Inc();
         // The flight wait is queueing, reported in admission_wait_s like an
         // admission-queue wait (the runner folds it into latency and the
         // queue-delay histogram) — not in the cell's own seconds, which
@@ -223,23 +227,35 @@ ServeResult ServingStack::Serve(
                                             /*spent_s=*/0.0, options,
                                             /*coalesced=*/true);
         result.admission_wait_s = wait_timer.Seconds();
+        result.stages[obs::RequestStage::kFlight] = result.admission_wait_s;
+        result.stale_tripwire = stale_tripwire;
         return result;
       }
-      case SingleFlightTable::WaitResult::kTimeout:
-        flight_shed_wait_timeout_.fetch_add(1, std::memory_order_relaxed);
-        return Shed(query, size, AdmissionOutcome::kShedTimeout,
-                    "waiting on coalesced flight", wait_timer.Seconds());
+      case SingleFlightTable::WaitResult::kTimeout: {
+        flight_shed_wait_timeout_->Inc();
+        ServeResult result =
+            Shed(query, size, AdmissionOutcome::kShedTimeout,
+                 "waiting on coalesced flight", wait_timer.Seconds());
+        result.stages[obs::RequestStage::kFlight] = result.admission_wait_s;
+        result.stale_tripwire = stale_tripwire;
+        return result;
+      }
       case SingleFlightTable::WaitResult::kLeaderFailed:
         // The leader had nothing servable (error/INF/shed). Execute solo:
         // failures are op-specific (a timeout there does not mean one
         // here), and re-joining a flight could chain waits unboundedly.
-        flight_follower_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        flight_follower_fallbacks_->Inc();
+        fallback_wait_s = wait_timer.Seconds();
         break;
     }
   }
 
-  return ExecuteMiss(key, query, size, options, ctx, start_deadline,
-                     /*flight=*/nullptr);
+  ServeResult result = ExecuteMiss(key, query, size, options, ctx,
+                                   start_deadline, /*flight=*/nullptr);
+  result.stale_tripwire = stale_tripwire;
+  result.admission_wait_s += fallback_wait_s;
+  result.stages[obs::RequestStage::kFlight] += fallback_wait_s;
+  return result;
 }
 
 ServeResult ServingStack::ExecuteMiss(
@@ -250,23 +266,54 @@ ServeResult ServingStack::ExecuteMiss(
   ServeResult result;
   bool admitted_heavy = false;
   double admission_wait_s = 0.0;
-  result.admission =
-      admission_.Admit(start_deadline, &admission_wait_s,
-                       static_cast<int>(query), &admitted_heavy);
+  {
+    obs::ScopedSpan queue_span("queue");
+    result.admission =
+        admission_.Admit(start_deadline, &admission_wait_s,
+                         static_cast<int>(query), &admitted_heavy);
+  }
   if (result.admission != AdmissionOutcome::kAdmitted) {
     result = Shed(query, size, result.admission, "by admission control",
                   admission_wait_s);
+    result.stages[obs::RequestStage::kQueue] = admission_wait_s;
     if (flight != nullptr) {
       flights_.Publish(key, flight, /*ok=*/false, core::QueryResult{});
     }
     return result;
   }
   result.admission_wait_s = admission_wait_s;
+  result.stages[obs::RequestStage::kQueue] = admission_wait_s;
 
   uint64_t data_epoch = 0;
-  result.shard = router_->AcquireShard();
-  result.cell = router_->RunOnShard(result.shard, query, size, options, ctx,
-                                    &data_epoch);
+  {
+    obs::ScopedSpan dispatch_span("dispatch");
+    result.shard = router_->AcquireShard();
+    if (dispatch_span.active()) {
+      dispatch_span.SetDetail("shard " + std::to_string(result.shard));
+    }
+  }
+  {
+    obs::ScopedSpan exec_span("execute");
+    const double exec_start =
+        exec_span.active() ? obs::Tracer::Global().NowSeconds() : 0.0;
+    result.cell = router_->RunOnShard(result.shard, query, size, options, ctx,
+                                      &data_epoch);
+    if (exec_span.active()) {
+      // Bridge the PhaseClock breakdown as child spans: a sequential
+      // data-management / analytics / glue layout under the execute span.
+      // The clock records phase *sums*, not intervals, so the children are
+      // an attribution view (their order is synthetic), but their widths
+      // are the paper's Figure 2/4 split for exactly this op.
+      const core::CellResult& cell = result.cell;
+      double t = exec_start;
+      const double dm = std::max(0.0, cell.dm_s - cell.glue_s);
+      obs::EmitChildSpan("data_management", t, dm);
+      t += dm;
+      obs::EmitChildSpan("analytics", t, cell.analytics_s);
+      t += cell.analytics_s;
+      obs::EmitChildSpan("glue", t, cell.glue_s);
+    }
+  }
   // Real slot-holding seconds feed the adaptive service-time model; the
   // modeled share never occupied an execution slot.
   admission_.Release(static_cast<int>(query),
@@ -274,6 +321,7 @@ ServeResult ServingStack::ExecuteMiss(
                                        result.cell.modeled_s),
                      admitted_heavy);
 
+  const double total_before_net_s = result.cell.total_s;
   if (options_.model_network) {
     const int64_t reply_bytes = result.cell.status.ok()
                                     ? ApproxResultBytes(result.cell.result)
@@ -283,6 +331,11 @@ ServeResult ServingStack::ExecuteMiss(
                           net_.TransferSeconds(reply_bytes),
                       options.timeout_seconds);
   }
+  // Stage accounting: the modeled round trip is the dispatch stage; the
+  // rest of the cell (engine work, real + modeled) is the execute stage.
+  result.stages[obs::RequestStage::kDispatch] =
+      result.cell.total_s - total_before_net_s;
+  result.stages[obs::RequestStage::kExecute] = total_before_net_s;
   const bool servable = result.cell.supported && result.cell.status.ok() &&
                         !result.cell.infinite;
   if (options_.cache_enabled && servable && data_epoch == key.epoch &&
@@ -313,16 +366,13 @@ ServingCounters ServingStack::counters() const {
   c.cache = cache_.stats();
   c.admission = admission_.stats();
   c.shards = router_->stats();
-  c.flight.leaders = flight_leaders_.load(std::memory_order_relaxed);
-  c.flight.coalesced = flight_coalesced_.load(std::memory_order_relaxed);
-  c.flight.coalesced_served =
-      flight_coalesced_served_.load(std::memory_order_relaxed);
-  c.flight.follower_fallbacks =
-      flight_follower_fallbacks_.load(std::memory_order_relaxed);
-  c.flight.shed_wait_timeout =
-      flight_shed_wait_timeout_.load(std::memory_order_relaxed);
-  c.stale_hits = stale_hits_.load(std::memory_order_relaxed);
-  c.reloads = reloads_.load(std::memory_order_relaxed);
+  c.flight.leaders = flight_leaders_->Value();
+  c.flight.coalesced = flight_coalesced_->Value();
+  c.flight.coalesced_served = flight_coalesced_served_->Value();
+  c.flight.follower_fallbacks = flight_follower_fallbacks_->Value();
+  c.flight.shed_wait_timeout = flight_shed_wait_timeout_->Value();
+  c.stale_hits = stale_hits_->Value();
+  c.reloads = reloads_->Value();
   return c;
 }
 

@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "core/datasets.h"
 #include "core/driver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/admission.h"
 #include "serving/counters.h"
 #include "serving/result_cache.h"
@@ -60,6 +62,14 @@ struct ServeResult {
   bool coalesced = false;
   int shard = -1;               ///< Executing shard; -1 for hits and sheds.
   double admission_wait_s = 0;  ///< Time queued (admission or flight wait).
+  /// Seconds by request stage, filled for every op (sampled or not).
+  /// Invariants: queue + flight == admission_wait_s, and cache + dispatch +
+  /// execute == cell.total_s (verify is added by the workload runner), so
+  /// per-stage histograms always sum consistently with end-to-end latency.
+  obs::StageSeconds stages;
+  /// The stale-hit tripwire fired on this op's lookup (it was healed by a
+  /// recompute — see Serve — but the runner tail-keeps the trace).
+  bool stale_tripwire = false;
 };
 
 /// \brief The serving layer: result cache, then single-flight coalescing,
@@ -156,13 +166,17 @@ class ServingStack {
   std::atomic<uint64_t> epoch_;
   std::mutex reload_mu_;  ///< Serializes ReloadDataset calls.
 
-  std::atomic<int64_t> stale_hits_{0};
-  std::atomic<int64_t> reloads_{0};
-  std::atomic<int64_t> flight_leaders_{0};
-  std::atomic<int64_t> flight_coalesced_{0};
-  std::atomic<int64_t> flight_coalesced_served_{0};
-  std::atomic<int64_t> flight_follower_fallbacks_{0};
-  std::atomic<int64_t> flight_shed_wait_timeout_{0};
+  /// Registry instruments (serving_flight_* / serving_stack_* with this
+  /// instance's label); Inc is atomic, so unlike the mutex-guarded layers
+  /// these are plain concurrent counters — exactly what the atomics they
+  /// replaced were.
+  obs::Counter* stale_hits_;
+  obs::Counter* reloads_;
+  obs::Counter* flight_leaders_;
+  obs::Counter* flight_coalesced_;
+  obs::Counter* flight_coalesced_served_;
+  obs::Counter* flight_follower_fallbacks_;
+  obs::Counter* flight_shed_wait_timeout_;
 };
 
 }  // namespace genbase::serving

@@ -13,6 +13,8 @@ genbase::Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
   }
   auto router = std::unique_ptr<ShardRouter>(new ShardRouter());
   router->shards_.reserve(static_cast<size_t>(shards));
+  auto& reg = obs::MetricsRegistry::Global();
+  const std::string instance = obs::MetricsRegistry::NextInstanceId("router");
   for (int s = 0; s < shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->engine = factory();
@@ -22,6 +24,12 @@ genbase::Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
     }
     GENBASE_RETURN_NOT_OK(shard->engine->LoadDataset(data));
     shard->generation = 1;
+    const obs::Labels labels{{"instance", instance},
+                             {"shard", std::to_string(s)}};
+    shard->ops = reg.GetCounter("serving_shard_ops_total", labels);
+    shard->errors = reg.GetCounter("serving_shard_errors_total", labels);
+    shard->infs = reg.GetCounter("serving_shard_infs_total", labels);
+    shard->busy_s = reg.GetGauge("serving_shard_busy_seconds", labels);
     router->shards_.push_back(std::move(shard));
   }
   router->generation_ = 1;
@@ -77,11 +85,13 @@ core::CellResult ShardRouter::RunOnShard(int s, core::QueryId query,
   {
     std::lock_guard<std::mutex> lock(mu_);
     --shard.outstanding;
-    shard.stats.ops += 1;
-    shard.stats.busy_s += cell.total_s;
-    shard.stats.infs += cell.infinite ? 1 : 0;
-    shard.stats.errors +=
-        (!cell.infinite && (!cell.supported || !cell.status.ok())) ? 1 : 0;
+    shard.ops->Inc();
+    shard.busy_s->Add(cell.total_s);
+    if (cell.infinite) {
+      shard.infs->Inc();
+    } else if (!cell.supported || !cell.status.ok()) {
+      shard.errors->Inc();
+    }
   }
   // A drainer may be waiting for this shard to go idle.
   shard_state_.notify_all();
@@ -137,7 +147,14 @@ std::vector<ShardStats> ShardRouter::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ShardStats> out;
   out.reserve(shards_.size());
-  for (const auto& shard : shards_) out.push_back(shard->stats);
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.ops = shard->ops->Value();
+    s.errors = shard->errors->Value();
+    s.infs = shard->infs->Value();
+    s.busy_s = shard->busy_s->Value();
+    out.push_back(s);
+  }
   return out;
 }
 

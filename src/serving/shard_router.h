@@ -13,6 +13,7 @@
 #include "core/datasets.h"
 #include "core/driver.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "serving/counters.h"
 
 namespace genbase::serving {
@@ -88,7 +89,12 @@ class ShardRouter {
     int outstanding = 0;       ///< Guarded by router mu_.
     bool draining = false;     ///< Guarded by router mu_.
     uint64_t generation = 0;   ///< Successfully loaded gen; guarded by mu_.
-    ShardStats stats;          ///< Guarded by router mu_.
+    /// Registry instruments (serving_shard_* with instance + shard labels),
+    /// incremented under router mu_ so stats() snapshots stay exact.
+    obs::Counter* ops = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* infs = nullptr;
+    obs::Gauge* busy_s = nullptr;
   };
 
   ShardRouter() = default;

@@ -67,12 +67,12 @@ void LatencyHistogram::Reset() {
 double LatencyHistogram::min() const { return count_ == 0 ? 0.0 : min_; }
 double LatencyHistogram::max() const { return count_ == 0 ? 0.0 : max_; }
 
-double LatencyHistogram::Percentile(double p) const {
+double LatencyHistogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  // Rank of the percentile observation (1-based, nearest-rank method).
-  const int64_t rank = std::max<int64_t>(
-      1, static_cast<int64_t>(std::ceil(p / 100.0 * count_)));
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the quantile observation (1-based, nearest-rank method).
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * count_)));
   // The extreme ranks are tracked exactly; everything in between resolves
   // to its bucket's representative value.
   if (rank >= count_) return max_;

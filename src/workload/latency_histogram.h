@@ -29,10 +29,15 @@ class LatencyHistogram {
   double max() const;  ///< 0 when empty.
   double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
 
-  /// Latency at percentile `p` in [0, 100]: the representative value
-  /// (geometric bucket midpoint) of the bucket containing the p-th
-  /// percentile observation. 0 when empty.
-  double Percentile(double p) const;
+  /// Latency at quantile `q` in [0, 1]: the representative value (geometric
+  /// bucket midpoint) of the bucket containing the q-th quantile observation
+  /// (nearest-rank). Defined for every input, never UB: 0 when empty,
+  /// exactly min() at q = 0, exactly max() at q = 1, and out-of-range q
+  /// clamps to [0, 1].
+  double Quantile(double q) const;
+
+  /// Quantile on the percent scale: Percentile(p) == Quantile(p / 100).
+  double Percentile(double p) const { return Quantile(p / 100.0); }
 
  private:
   int BucketFor(double seconds) const;

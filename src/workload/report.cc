@@ -74,6 +74,10 @@ void OpStats::MergeFrom(const OpStats& other) {
   shed_timeout += other.shed_timeout;
   latency.Merge(other.latency);
   queue_delay.Merge(other.queue_delay);
+  for (int s = 0; s < obs::kNumRequestStages; ++s) {
+    stage[s].Merge(other.stage[s]);
+  }
+  e2e_latency.Merge(other.e2e_latency);
   dm_s += other.dm_s;
   analytics_s += other.analytics_s;
   glue_s += other.glue_s;
@@ -131,6 +135,21 @@ void WorkloadReport::Print() const {
                 static_cast<long long>(total.shed_queue_full),
                 static_cast<long long>(total.shed_timeout));
   }
+  // Per-stage attribution (p50/p99 per request stage): where a served op's
+  // time went. Stages that never saw time are printed as 0 — the row shape
+  // stays greppable across configurations.
+  if (total.e2e_latency.count() > 0) {
+    std::printf("  stages p50/p99:");
+    for (int s = 0; s < obs::kNumRequestStages; ++s) {
+      std::printf(" %s=%s/%s",
+                  obs::RequestStageName(static_cast<obs::RequestStage>(s)),
+                  FormatMillis(total.stage[s].Quantile(0.5)).c_str(),
+                  FormatMillis(total.stage[s].Quantile(0.99)).c_str());
+    }
+    std::printf("  e2e=%s/%s\n",
+                FormatMillis(total.e2e_latency.Quantile(0.5)).c_str(),
+                FormatMillis(total.e2e_latency.Quantile(0.99)).c_str());
+  }
   // Only worth a line when queueing was actually observed: closed-loop
   // direct-engine runs record all-zero delays by construction.
   if (total.queue_delay.max() > 0) {
@@ -168,6 +187,15 @@ void WorkloadReport::Print() const {
                   static_cast<long long>(serving.flight.coalesced_served),
                   static_cast<long long>(serving.flight.follower_fallbacks),
                   static_cast<long long>(serving.flight.shed_wait_timeout));
+    }
+    if (!serving.admission.shed_by_class.empty()) {
+      std::printf("  shed by class:");
+      for (const auto& [class_id, shed] : serving.admission.shed_by_class) {
+        std::printf(" %s=%lld",
+                    core::QueryName(static_cast<core::QueryId>(class_id)),
+                    static_cast<long long>(shed));
+      }
+      std::printf("\n");
     }
     if (serving.reloads > 0 || serving.stale_hits > 0) {
       std::printf("  churn: reloads=%lld stale_hits=%lld (must be 0)\n",
@@ -289,6 +317,16 @@ void AppendOpStats(std::string* out, const OpStats& stats) {
   AppendHistogram(out, "latency", stats.latency);
   out->push_back(',');
   AppendHistogram(out, "queue_delay", stats.queue_delay);
+  out->append(",\"stages\":{");
+  for (int s = 0; s < obs::kNumRequestStages; ++s) {
+    if (s > 0) out->push_back(',');
+    AppendHistogram(out,
+                    obs::RequestStageName(static_cast<obs::RequestStage>(s)),
+                    stats.stage[s]);
+  }
+  out->push_back('}');
+  out->push_back(',');
+  AppendHistogram(out, "e2e_latency", stats.e2e_latency);
   out->push_back('}');
 }
 
@@ -366,7 +404,17 @@ std::string WorkloadReport::ToJson() const {
     AppendKv(&out, "peak_queue", serving.admission.peak_queue);
     out.push_back(',');
     AppendKv(&out, "current_limit", serving.admission.current_limit);
-    out.append("},\"single_flight\":{");
+    out.append(",\"shed_by_class\":{");
+    bool first_class = true;
+    for (const auto& [class_id, shed] : serving.admission.shed_by_class) {
+      if (!first_class) out.push_back(',');
+      first_class = false;
+      out.push_back('"');
+      out.append(core::QueryName(static_cast<core::QueryId>(class_id)));
+      out.append("\":");
+      out.append(std::to_string(shed));
+    }
+    out.append("}},\"single_flight\":{");
     AppendKv(&out, "leaders", serving.flight.leaders);
     out.push_back(',');
     AppendKv(&out, "coalesced", serving.flight.coalesced);

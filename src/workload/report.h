@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/queries.h"
+#include "obs/trace.h"
 #include "serving/counters.h"
 #include "workload/latency_histogram.h"
 #include "workload/workload_spec.h"
@@ -55,6 +56,14 @@ struct OpStats {
   /// Queueing share of the above, on its own clock: dispatch lag behind the
   /// arrival schedule plus admission-queue wait, per served op.
   LatencyHistogram queue_delay;
+  /// Per-stage latency, successful ops only, indexed by obs::RequestStage
+  /// (queue / cache / flight / dispatch / execute / verify). Stage seconds
+  /// per op sum to e2e_latency's sample for that op: queue + flight ==
+  /// queue_delay, cache + dispatch + execute == the cell total, and verify
+  /// is the runner's reference check.
+  LatencyHistogram stage[obs::kNumRequestStages];
+  /// End-to-end per-op latency including verification: latency + verify.
+  LatencyHistogram e2e_latency;
   double dm_s = 0.0;            ///< Summed phase seconds over ops.
   double analytics_s = 0.0;
   double glue_s = 0.0;

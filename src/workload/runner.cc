@@ -3,17 +3,22 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/driver.h"
+#include "core/queries.h"
 #include "core/reference.h"
 #include "core/verify.h"
+#include "obs/trace.h"
 
 namespace genbase::workload {
 
@@ -21,26 +26,35 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Tail-keep caps: flagged requests (shed / stale tripwire / deadline miss /
+/// verify failure) per client and after the cross-client merge, plus the
+/// slowest-N successful requests. Small fixed bounds so a pathological run
+/// (everything shed) cannot balloon the slow-query log.
+constexpr size_t kMaxFlaggedPerClient = 8;
+constexpr size_t kSlowestPerClient = 4;
+constexpr size_t kMaxFlaggedTotal = 32;
+constexpr size_t kSlowestTotal = 8;
+
 /// Per-client accumulation; merged into the report after each phase so the
 /// hot path takes no locks.
 struct ClientState {
   ExecContext ctx;
   OpStats total;
   std::map<core::QueryId, OpStats> per_query;
+  /// Tail-keep candidates, merged and re-capped by FlushTailKept.
+  std::vector<obs::SlowQueryRecord> flagged;
+  std::vector<obs::SlowQueryRecord> slowest;  ///< Desc by latency, capped.
 };
 
-void RecordOutcome(const WorkloadRunner::OpOutcome& outcome,
-                   const core::QueryResult* truth, core::QueryId query,
-                   ClientState* state) {
-  // Classify (and verify against ground truth) once; the loop below only
-  // bumps counters into the run-total and per-query aggregates.
+void RecordOutcome(const WorkloadRunner::OpOutcome& outcome, bool mismatched,
+                   core::QueryId query, ClientState* state) {
+  // Classify once (verification already ran in the client loop, where it
+  // could be timed as the verify stage); the loop below only bumps counters
+  // into the run-total and per-query aggregates.
   const core::CellResult& cell = outcome.cell;
   const bool failed = !outcome.shed && !cell.infinite &&
                       (!cell.supported || !cell.status.ok());
   const bool succeeded = !outcome.shed && !cell.infinite && !failed;
-  const bool mismatched =
-      succeeded && truth != nullptr &&
-      !core::CompareQueryResults(*truth, cell.result).ok();
   OpStats& q = state->per_query[query];
   for (OpStats* stats : {&state->total, &q}) {
     stats->ops += 1;
@@ -65,7 +79,130 @@ void RecordOutcome(const WorkloadRunner::OpOutcome& outcome,
       // up artificially. Failures are visible in their own counters.
       stats->latency.Record(outcome.queue_delay_s + cell.total_s);
       stats->queue_delay.Record(outcome.queue_delay_s);
+      for (int s = 0; s < obs::kNumRequestStages; ++s) {
+        stats->stage[s].Record(outcome.stages.s[s]);
+      }
+      stats->e2e_latency.Record(outcome.queue_delay_s + cell.total_s +
+                                outcome.stages[obs::RequestStage::kVerify]);
     }
+  }
+}
+
+/// Tail-based keep, per-client half: remember every flagged request (shed /
+/// stale tripwire / deadline miss / verify failure) up to a small cap, and
+/// the client's slowest successful requests, so interesting tails survive
+/// even when head sampling skipped them.
+void KeepTailCandidates(const WorkloadRunner::OpOutcome& outcome,
+                        bool mismatched, const ScheduledOp& op,
+                        uint64_t trace_id, double start_s,
+                        const std::string& workload, ClientState* state) {
+  const core::CellResult& cell = outcome.cell;
+  const bool deadline_missed = !outcome.shed && cell.infinite;
+  const bool failed = !outcome.shed && !cell.infinite &&
+                      (!cell.supported || !cell.status.ok());
+  const bool succeeded = !outcome.shed && !cell.infinite && !failed;
+  const bool flagged = outcome.shed || outcome.stale_tripwire ||
+                       deadline_missed || mismatched;
+  if (!flagged && !succeeded) return;
+  const double e2e_s = outcome.queue_delay_s + cell.total_s +
+                       outcome.stages[obs::RequestStage::kVerify];
+  const auto make_record = [&] {
+    obs::SlowQueryRecord rec;
+    rec.trace_id = trace_id;
+    rec.workload = workload;
+    rec.query = core::QueryName(op.query);
+    rec.variant = op.variant;
+    rec.class_id = static_cast<int>(op.query);
+    rec.start_s = start_s;
+    rec.latency_s = e2e_s;
+    rec.stages = outcome.stages;
+    rec.shed = outcome.shed;
+    rec.stale_tripwire = outcome.stale_tripwire;
+    rec.deadline_missed = deadline_missed;
+    rec.verify_failed = mismatched;
+    return rec;
+  };
+  if (flagged) {
+    if (state->flagged.size() < kMaxFlaggedPerClient) {
+      state->flagged.push_back(make_record());
+    }
+    return;
+  }
+  std::vector<obs::SlowQueryRecord>& slowest = state->slowest;
+  if (slowest.size() < kSlowestPerClient ||
+      e2e_s > slowest.back().latency_s) {
+    slowest.push_back(make_record());
+    std::sort(slowest.begin(), slowest.end(),
+              [](const obs::SlowQueryRecord& a,
+                 const obs::SlowQueryRecord& b) {
+                return a.latency_s > b.latency_s;
+              });
+    if (slowest.size() > kSlowestPerClient) slowest.pop_back();
+  }
+}
+
+/// Tail-based keep, merge half: cap the union of per-client candidates,
+/// write the slow-query log, and synthesize spans (from the exact
+/// StageSeconds every request carries) for kept requests head sampling
+/// skipped — so every kept request is visible in the exported trace.
+void FlushTailKept(std::vector<ClientState>* clients) {
+  std::vector<obs::SlowQueryRecord> kept;
+  std::vector<obs::SlowQueryRecord> slow;
+  for (ClientState& state : *clients) {
+    for (obs::SlowQueryRecord& rec : state.flagged) {
+      if (kept.size() < kMaxFlaggedTotal) kept.push_back(std::move(rec));
+    }
+    for (obs::SlowQueryRecord& rec : state.slowest) {
+      slow.push_back(std::move(rec));
+    }
+    state.flagged.clear();
+    state.slowest.clear();
+  }
+  std::sort(slow.begin(), slow.end(),
+            [](const obs::SlowQueryRecord& a, const obs::SlowQueryRecord& b) {
+              return a.latency_s > b.latency_s;
+            });
+  if (slow.size() > kSlowestTotal) slow.resize(kSlowestTotal);
+  for (obs::SlowQueryRecord& rec : slow) {
+    rec.slowest = true;
+    kept.push_back(std::move(rec));
+  }
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const double rate = tracer.sample_rate();
+  for (obs::SlowQueryRecord& rec : kept) {
+    if (!obs::TraceSampled(rec.trace_id, rate)) {
+      // Rebuild the request's spans from its stage breakdown (stages are
+      // laid out sequentially — their real overlap is unknown, their
+      // durations are exact). Span ids restart at 1: the trace was not
+      // head-sampled, so no live spans share its id space.
+      obs::Span root;
+      root.trace_id = rec.trace_id;
+      root.span_id = 1;
+      root.name = "request";
+      root.start_s = rec.start_s;
+      root.dur_s = rec.latency_s;
+      root.tid = obs::Tracer::ThreadOrdinal();
+      root.synthetic = true;
+      root.SetDetail(rec.query);
+      tracer.Record(root);
+      double t = rec.start_s;
+      uint64_t next_span_id = 2;
+      for (int s = 0; s < obs::kNumRequestStages; ++s) {
+        if (rec.stages.s[s] <= 0) continue;
+        obs::Span span;
+        span.trace_id = rec.trace_id;
+        span.span_id = next_span_id++;
+        span.parent_id = 1;
+        span.name = obs::RequestStageName(static_cast<obs::RequestStage>(s));
+        span.start_s = t;
+        span.dur_s = rec.stages.s[s];
+        span.tid = root.tid;
+        span.synthetic = true;
+        tracer.Record(span);
+        t += rec.stages.s[s];
+      }
+    }
+    tracer.LogSlowQuery(std::move(rec));
   }
 }
 
@@ -100,17 +237,36 @@ genbase::Result<WorkloadReport> WorkloadRunner::Run(
   const std::vector<ScheduledOp> schedule = BuildSchedule(spec_);
   GENBASE_RETURN_NOT_OK(EnsureTruths(data, schedule));
 
-  return RunScheduled(engine->name(), /*shards=*/1, /*stack=*/nullptr,
-                      schedule,
-                      [engine, this](const ScheduledOp& op,
-                                     const core::DriverOptions& options,
-                                     std::optional<Clock::time_point>,
-                                     ExecContext* ctx) {
-                        OpOutcome outcome;
-                        outcome.cell = core::RunCellWithContext(
-                            engine, op.query, spec_.size, options, ctx);
-                        return outcome;
-                      });
+  return RunScheduled(
+      engine->name(), /*shards=*/1, /*stack=*/nullptr, schedule,
+      [engine, this](const ScheduledOp& op,
+                     const core::DriverOptions& options,
+                     std::optional<Clock::time_point>, ExecContext* ctx) {
+        OpOutcome outcome;
+        obs::ScopedSpan span("execute");
+        const double exec_start_s =
+            span.active() ? obs::Tracer::Global().NowSeconds() : 0.0;
+        outcome.cell = core::RunCellWithContext(engine, op.query, spec_.size,
+                                                options, ctx);
+        // Direct-to-engine: the whole cell is the execute stage.
+        outcome.stages[obs::RequestStage::kExecute] = outcome.cell.total_s;
+        if (span.active()) {
+          // PhaseClock bridge: the cell's phase split as sequential child
+          // spans (dm excludes glue, which PhaseClock nests inside it).
+          double t = exec_start_s;
+          const auto emit = [&t](const char* name, double dur_s) {
+            if (dur_s > 0) {
+              obs::EmitChildSpan(name, t, dur_s);
+              t += dur_s;
+            }
+          };
+          emit("data_management",
+               std::max(0.0, outcome.cell.dm_s - outcome.cell.glue_s));
+          emit("analytics", outcome.cell.analytics_s);
+          emit("glue", outcome.cell.glue_s);
+        }
+        return outcome;
+      });
 }
 
 genbase::Result<WorkloadReport> WorkloadRunner::Run(
@@ -132,6 +288,8 @@ genbase::Result<WorkloadReport> WorkloadRunner::Run(
         outcome.shed_timeout =
             served.admission == serving::AdmissionOutcome::kShedTimeout;
         outcome.queue_delay_s = served.admission_wait_s;
+        outcome.stages = served.stages;
+        outcome.stale_tripwire = served.stale_tripwire;
         return outcome;
       });
 }
@@ -194,15 +352,59 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
                 0.0, std::chrono::duration<double>(Clock::now() - *arrival)
                          .count());
           }
-          OpOutcome outcome =
-              exec(op, variant_options[static_cast<size_t>(op.variant)],
-                   arrival, &state->ctx);
-          outcome.queue_delay_s += dispatch_lag_s;
+          // Tracing context for this op: deterministic id (a pure function
+          // of seed/workload/schedule index, so reruns sample the same
+          // requests) installed thread-locally — spans opened anywhere
+          // below (serving stack, engine) need no plumbing.
+          const uint64_t trace_id =
+              obs::RequestTraceId(spec_.seed, spec_.name, i);
+          const bool sampled =
+              record && obs::TraceSampled(
+                            trace_id, obs::Tracer::Global().sample_rate());
+          const double req_start_s = obs::Tracer::Global().NowSeconds();
+          OpOutcome outcome;
+          bool mismatched = false;
+          {
+            obs::ScopedTrace trace(trace_id, sampled);
+            obs::ScopedSpan request_span("request");
+            if (request_span.active()) {
+              request_span.SetDetail(std::string(core::QueryName(op.query)) +
+                                     "/v" + std::to_string(op.variant));
+            }
+            outcome =
+                exec(op, variant_options[static_cast<size_t>(op.variant)],
+                     arrival, &state->ctx);
+            outcome.queue_delay_s += dispatch_lag_s;
+            // Dispatch lag is queueing the op's client really saw; fold it
+            // into the queue stage so queue + flight == queue_delay holds.
+            outcome.stages[obs::RequestStage::kQueue] += dispatch_lag_s;
+            if (record) {
+              // Verification runs here — inside the trace, on the client
+              // thread — so it is timed as the request's verify stage and
+              // shows up as a span instead of vanishing into bookkeeping.
+              const core::CellResult& cell = outcome.cell;
+              const bool verifiable = !outcome.shed && !cell.infinite &&
+                                      cell.supported && cell.status.ok();
+              const auto it = verifiable
+                                  ? truths_.find({op.query, op.variant})
+                                  : truths_.end();
+              if (it != truths_.end()) {
+                obs::ScopedSpan verify_span("verify");
+                const auto verify_start = Clock::now();
+                mismatched =
+                    !core::CompareQueryResults(it->second, cell.result).ok();
+                outcome.stages[obs::RequestStage::kVerify] =
+                    std::chrono::duration<double>(Clock::now() -
+                                                  verify_start)
+                        .count();
+                if (mismatched) verify_span.SetDetail("mismatch");
+              }
+            }
+          }
           if (record) {
-            auto it = truths_.find({op.query, op.variant});
-            RecordOutcome(outcome,
-                          it == truths_.end() ? nullptr : &it->second,
-                          op.query, state);
+            RecordOutcome(outcome, mismatched, op.query, state);
+            KeepTailCandidates(outcome, mismatched, op, trace_id,
+                               req_start_s, spec_.name, state);
           }
         }
       });
@@ -222,6 +424,12 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
   WallTimer wall;
   run_phase(warmup_end, schedule.size(), /*record=*/true);
   const double wall_seconds = wall.Seconds();
+
+  // Tail-keep + drain: log kept requests (synthesizing spans for the ones
+  // head sampling skipped), then pull every thread ring into the collector
+  // so spans survive the pool threads this run used.
+  FlushTailKept(&clients);
+  obs::Tracer::Global().Collect();
 
   WorkloadReport report;
   report.engine = engine_name;

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/datasets.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "serving/serving_stack.h"
 #include "workload/report.h"
 #include "workload/workload_spec.h"
@@ -60,6 +61,12 @@ class WorkloadRunner {
     bool shed = false;
     bool shed_timeout = false;  ///< vs queue-full, when shed.
     double queue_delay_s = 0.0; ///< Dispatch lag + admission wait.
+    /// Per-stage seconds. queue/cache/flight/dispatch/execute are filled by
+    /// the executor; the runner adds the dispatch-lag share of queue and the
+    /// verify stage, preserving queue + flight == queue_delay_s and
+    /// Sum() == queue_delay_s + cell.total_s + verify.
+    obs::StageSeconds stages;
+    bool stale_tripwire = false;  ///< Served stale past the tripwire age.
   };
 
   explicit WorkloadRunner(WorkloadSpec spec);

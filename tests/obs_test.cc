@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace genbase::obs {
+namespace {
+
+// --- metrics registry --------------------------------------------------------
+
+TEST(MetricKeyTest, CanonicalizesLabelOrder) {
+  EXPECT_EQ(MetricKey("m", {}), "m");
+  EXPECT_EQ(MetricKey("m", {{"b", "2"}, {"a", "1"}}),
+            MetricKey("m", {{"a", "1"}, {"b", "2"}}));
+  EXPECT_EQ(MetricKey("m", {{"a", "1"}, {"b", "2"}}),
+            "m{a=\"1\",b=\"2\"}");
+}
+
+TEST(MetricsRegistryTest, SameKeyReturnsSameInstrument) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("obs_test_same_key", {{"k", "v"}});
+  Counter* b = reg.GetCounter("obs_test_same_key", {{"k", "v"}});
+  Counter* c = reg.GetCounter("obs_test_same_key", {{"k", "other"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a->Inc(3);
+  EXPECT_EQ(b->Value(), 3);
+  EXPECT_EQ(c->Value(), 0);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndExportersContainInstruments) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test_export_counter")->Inc(7);
+  reg.GetGauge("obs_test_export_gauge")->Set(2.5);
+  reg.GetHistogram("obs_test_export_hist")->Observe(0.010);
+
+  bool saw_counter = false;
+  for (const MetricSample& s : reg.Snapshot()) {
+    if (s.name == "obs_test_export_counter") {
+      saw_counter = true;
+      EXPECT_EQ(static_cast<int64_t>(s.value), 7);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+
+  const std::string prom = reg.PrometheusText();
+  EXPECT_NE(prom.find("# TYPE obs_test_export_counter counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_test_export_gauge 2.5"), std::string::npos);
+  EXPECT_NE(prom.find("obs_test_export_hist_count"), std::string::npos);
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"obs_test_export_counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_export_hist\""), std::string::npos);
+}
+
+// The lock-free hot path: counters and histogram buckets are plain relaxed
+// atomics, so under concurrency the *counts* must still be exact (this is
+// also the test to run under -fsanitize=thread to validate the claim that
+// the instrument hot path has no data races — it passes functionally by
+// exactness either way).
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreExact) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* counter = reg.GetCounter("obs_test_concurrent_counter");
+  Histogram* hist = reg.GetHistogram("obs_test_concurrent_hist");
+  Gauge* peak = reg.GetGauge("obs_test_concurrent_peak");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Inc();
+        hist->Observe((t + 1) * 1e-3);
+        peak->SetMax(t + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.min, 1e-3);
+  EXPECT_DOUBLE_EQ(snap.max, kThreads * 1e-3);
+  EXPECT_DOUBLE_EQ(peak->Value(), kThreads);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileExtremesExactMiddleBucketed) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 1e-3);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 1.0);
+  EXPECT_NEAR(snap.Quantile(0.5), 0.5, 0.5 * 0.06);
+  EXPECT_NEAR(snap.Quantile(0.99), 0.99, 0.99 * 0.06);
+}
+
+// --- trace ids + sampling ----------------------------------------------------
+
+TEST(TraceSamplingTest, TraceIdsAreDeterministic) {
+  const uint64_t a = RequestTraceId(42, "serving-mix", 7);
+  EXPECT_EQ(a, RequestTraceId(42, "serving-mix", 7));
+  EXPECT_NE(a, RequestTraceId(42, "serving-mix", 8));
+  EXPECT_NE(a, RequestTraceId(43, "serving-mix", 7));
+  EXPECT_NE(a, RequestTraceId(42, "churn-mix", 7));
+  EXPECT_NE(a, 0u);  // 0 is reserved for "no trace installed".
+}
+
+TEST(TraceSamplingTest, SamplingIsDeterministicAndRateBounded) {
+  const uint64_t id = RequestTraceId(1, "w", 1);
+  EXPECT_FALSE(TraceSampled(id, 0.0));
+  EXPECT_TRUE(TraceSampled(id, 1.0));
+  EXPECT_EQ(TraceSampled(id, 0.01), TraceSampled(id, 0.01));
+
+  int sampled = 0;
+  constexpr int kIds = 20000;
+  for (int i = 0; i < kIds; ++i) {
+    if (TraceSampled(RequestTraceId(42, "w", i), 0.01)) ++sampled;
+  }
+  // E[sampled] = 200, sd ~14; a 6-sigma band will not flake.
+  EXPECT_GT(sampled, 100);
+  EXPECT_LT(sampled, 300);
+}
+
+// --- spans -------------------------------------------------------------------
+
+TEST(ScopedSpanTest, NestingSetsParentIds) {
+  Tracer& tracer = Tracer::Global();
+  tracer.TakeCollected();  // Start from a drained ring.
+  constexpr uint64_t kTrace = 0xabcdefULL;
+  {
+    ScopedTrace trace(kTrace, /*sampled=*/true);
+    ScopedSpan request("request");
+    ASSERT_TRUE(request.active());
+    {
+      ScopedSpan execute("execute");
+      ASSERT_TRUE(execute.active());
+      EmitChildSpan("analytics", 0.0, 0.1, "phase");
+    }
+  }
+  std::vector<Span> spans;
+  for (const Span& s : tracer.TakeCollected()) {
+    if (s.trace_id == kTrace) spans.push_back(s);
+  }
+  ASSERT_EQ(spans.size(), 3u);
+  // Recorded innermost-first: the emitted child, then execute, then request.
+  const Span& analytics = spans[0];
+  const Span& execute = spans[1];
+  const Span& request = spans[2];
+  EXPECT_STREQ(analytics.name, "analytics");
+  EXPECT_STREQ(execute.name, "execute");
+  EXPECT_STREQ(request.name, "request");
+  EXPECT_EQ(request.parent_id, 0u);
+  EXPECT_EQ(execute.parent_id, request.span_id);
+  EXPECT_EQ(analytics.parent_id, execute.span_id);
+  EXPECT_STREQ(analytics.detail, "phase");
+  EXPECT_GE(execute.start_s, request.start_s);
+}
+
+TEST(ScopedSpanTest, UnsampledTraceRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.TakeCollected();
+  constexpr uint64_t kTrace = 0xdeadULL;
+  {
+    ScopedTrace trace(kTrace, /*sampled=*/false);
+    ScopedSpan request("request");
+    EXPECT_FALSE(request.active());
+    EmitChildSpan("execute", 0.0, 0.1);
+  }
+  for (const Span& s : tracer.TakeCollected()) {
+    EXPECT_NE(s.trace_id, kTrace);
+  }
+}
+
+TEST(TracerTest, FullRingDropsAndCountsInsteadOfBlocking) {
+  Tracer& tracer = Tracer::Global();
+  tracer.TakeCollected();  // Ring starts empty.
+  const int64_t dropped_before = tracer.spans_dropped();
+  constexpr uint64_t kTrace = 0xf100dULL;
+  constexpr size_t kOverflow = 100;
+  {
+    ScopedTrace trace(kTrace, /*sampled=*/true);
+    for (size_t i = 0; i < Tracer::kRingCapacity + kOverflow; ++i) {
+      EmitChildSpan("spam", 0.0, 0.0);
+    }
+  }
+  EXPECT_EQ(tracer.spans_dropped() - dropped_before,
+            static_cast<int64_t>(kOverflow));
+  size_t kept = 0;
+  for (const Span& s : tracer.TakeCollected()) {
+    if (s.trace_id == kTrace) ++kept;
+  }
+  EXPECT_EQ(kept, Tracer::kRingCapacity);
+}
+
+TEST(TracerTest, CollectDrainsSpansFromOtherThreads) {
+  Tracer& tracer = Tracer::Global();
+  tracer.TakeCollected();
+  constexpr uint64_t kTrace = 0x7417ULL;
+  std::thread worker([&] {
+    ScopedTrace trace(kTrace, /*sampled=*/true);
+    ScopedSpan span("request");
+  });
+  worker.join();
+  size_t found = 0;
+  for (const Span& s : tracer.TakeCollected()) {
+    if (s.trace_id == kTrace) ++found;
+  }
+  EXPECT_EQ(found, 1u);
+}
+
+// --- exporters ---------------------------------------------------------------
+
+TEST(TraceExportTest, ChromeTraceJsonShape) {
+  Span span;
+  span.trace_id = 0x1234;
+  span.span_id = 1;
+  span.name = "request";
+  span.start_s = 0.5;
+  span.dur_s = 0.25;
+  span.tid = 3;
+  span.synthetic = true;
+  span.SetDetail("regression/v0");
+  const std::string json = ChromeTraceJson({span});
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":500000.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250000.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"synthetic\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"regression/v0\""), std::string::npos);
+  // Trace ids are hex strings: 64-bit values exceed JSON exact integers.
+  EXPECT_NE(json.find("\"trace_id\":\"0000000000001234\""),
+            std::string::npos);
+}
+
+TEST(TraceExportTest, SlowQueryJsonlOneLinePerRecord) {
+  SlowQueryRecord rec;
+  rec.trace_id = 5;
+  rec.workload = "serving-mix";
+  rec.query = "svd";
+  rec.stages[RequestStage::kQueue] = 0.001;
+  rec.stages[RequestStage::kExecute] = 0.040;
+  rec.shed = true;
+  const std::string jsonl = SlowQueryJsonl({rec, rec});
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"workload\":\"serving-mix\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"queue\":0.001000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"execute\":0.040000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"shed\":true"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"slowest\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace genbase::obs

@@ -700,6 +700,7 @@ TEST(CountersDeltaTest, MismatchedShardVectorLengthsAreHandled) {
   now.flight.coalesced = 3;
   now.stale_hits = 0;
   now.reloads = 2;
+  now.admission.shed_by_class = {{1, 5}, {2, 3}};
 
   ServingCounters since;
   since.shards.resize(2);  // e.g. counters captured before a resize.
@@ -708,6 +709,7 @@ TEST(CountersDeltaTest, MismatchedShardVectorLengthsAreHandled) {
   since.cache.hits = 2;
   since.flight.coalesced = 1;
   since.reloads = 1;
+  since.admission.shed_by_class = {{1, 2}};
 
   const ServingCounters d = CountersDelta(now, since);
   ASSERT_EQ(d.shards.size(), 4u);
@@ -718,6 +720,10 @@ TEST(CountersDeltaTest, MismatchedShardVectorLengthsAreHandled) {
   EXPECT_EQ(d.cache.hits, 5);
   EXPECT_EQ(d.flight.coalesced, 2);
   EXPECT_EQ(d.reloads, 1);
+  // Per-class shed counts subtract per key; classes with no baseline keep
+  // their cumulative value.
+  EXPECT_EQ(d.admission.shed_by_class.at(1), 3);
+  EXPECT_EQ(d.admission.shed_by_class.at(2), 3);
 
   // The reverse shape (baseline longer than current) must not read past
   // the shorter vector either.

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "core/generator.h"
 #include "engine/engines.h"
+#include "obs/trace.h"
+#include "serving/serving_stack.h"
 #include "workload/latency_histogram.h"
 #include "workload/report.h"
 #include "workload/runner.h"
@@ -128,6 +134,25 @@ TEST(LatencyHistogramTest, MergedHistogramKeepsExactExtremes) {
   a.Merge(b);
   EXPECT_DOUBLE_EQ(a.Percentile(0), 0.0011);
   EXPECT_DOUBLE_EQ(a.Percentile(100), 0.98);
+}
+
+TEST(LatencyHistogramTest, QuantileEdgeCases) {
+  LatencyHistogram h;
+  // Empty: every quantile is a defined 0, not a read of stale min/max.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+  h.Record(0.2);
+  h.Record(0.4);
+  // Extremes are tracked exactly, outside the bucket resolution.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.4);
+  // Out-of-range q clamps instead of producing nonsense ranks.
+  EXPECT_DOUBLE_EQ(h.Quantile(-3.0), 0.2);
+  EXPECT_DOUBLE_EQ(h.Quantile(7.0), 0.4);
+  // Percentile is a thin delegate: p on [0,100] == q on [0,1].
+  EXPECT_DOUBLE_EQ(h.Percentile(100), h.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(50), h.Quantile(0.5));
 }
 
 TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
@@ -435,6 +460,152 @@ TEST(WorkloadRunnerTest, OpenLoopLatencyIsCoordinatedOmissionCorrected) {
             report->total.queue_delay.max());
   EXPECT_GE(report->total.latency.sum(),
             report->total.queue_delay.sum());
+}
+
+// --- tracing + per-stage breakdown ------------------------------------------
+
+/// Scoped sample-rate override; restores the global rate on exit so these
+/// tests do not leak a 100% rate into unrelated tests.
+class ScopedSampleRate {
+ public:
+  explicit ScopedSampleRate(double rate)
+      : saved_(obs::Tracer::Global().sample_rate()) {
+    obs::Tracer::Global().set_sample_rate(rate);
+  }
+  ~ScopedSampleRate() { obs::Tracer::Global().set_sample_rate(saved_); }
+
+ private:
+  double saved_;
+};
+
+serving::ServingOptions TestServingOptions() {
+  serving::ServingOptions options;
+  options.shards = 2;
+  options.cache_enabled = true;
+  return options;
+}
+
+TEST(WorkloadRunnerTest, StageBreakdownSumsToEndToEndLatency) {
+  auto stack = serving::ServingStack::Create(
+      TestServingOptions(), engine::CreateColumnStoreUdf, TinyData());
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  WorkloadRunner runner(SmokeSpec());
+  auto report = runner.Run(stack.ValueOrDie().get(), TinyData());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->total.errors, 0);
+  ASSERT_EQ(report->total.verify_failures, 0);
+
+  const OpStats& total = report->total;
+  // Every successful op contributes one sample to every stage histogram
+  // (zero-duration stages record 0) and one end-to-end sample.
+  EXPECT_EQ(total.e2e_latency.count(), total.latency.count());
+  for (int s = 0; s < obs::kNumRequestStages; ++s) {
+    EXPECT_EQ(total.stage[s].count(), total.latency.count())
+        << obs::RequestStageName(static_cast<obs::RequestStage>(s));
+  }
+  // Stage seconds partition the end-to-end seconds: summed over the run,
+  // the six stages must reproduce e2e within float accumulation noise.
+  double stage_sum = 0.0;
+  for (int s = 0; s < obs::kNumRequestStages; ++s) {
+    stage_sum += total.stage[s].sum();
+  }
+  EXPECT_NEAR(stage_sum, total.e2e_latency.sum(),
+              1e-9 * std::max<double>(1, total.e2e_latency.count()));
+  // e2e = latency + verify, and verification really ran (spec.verify).
+  EXPECT_NEAR(total.e2e_latency.sum(),
+              total.latency.sum() + total.stage[static_cast<int>(
+                                        obs::RequestStage::kVerify)].sum(),
+              1e-9 * std::max<double>(1, total.e2e_latency.count()));
+  EXPECT_GT(
+      total.stage[static_cast<int>(obs::RequestStage::kVerify)].sum(), 0.0);
+  // queue + flight == queue_delay, summed.
+  EXPECT_NEAR(
+      total.stage[static_cast<int>(obs::RequestStage::kQueue)].sum() +
+          total.stage[static_cast<int>(obs::RequestStage::kFlight)].sum(),
+      total.queue_delay.sum(),
+      1e-9 * std::max<double>(1, total.e2e_latency.count()));
+}
+
+TEST(WorkloadRunnerTest, SpansNestUnderConcurrentServingRun) {
+  ScopedSampleRate rate(1.0);  // Sample everything: structure, not cost.
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.TakeCollected();  // Drain spans left by earlier tests.
+  tracer.TakeSlowQueries();
+  const int64_t dropped_before = tracer.spans_dropped();
+
+  auto stack = serving::ServingStack::Create(
+      TestServingOptions(), engine::CreateColumnStoreUdf, TinyData());
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  WorkloadRunner runner(SmokeSpec());
+  auto report = runner.Run(stack.ValueOrDie().get(), TinyData());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const std::vector<obs::Span> spans = tracer.TakeCollected();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(tracer.spans_dropped(), dropped_before);
+
+  // Index spans by (trace, span id); every parent reference must resolve
+  // within its own trace, and every measured-phase trace has exactly one
+  // root — the runner's "request" span.
+  std::map<std::pair<uint64_t, uint64_t>, const obs::Span*> by_id;
+  for (const obs::Span& s : spans) {
+    EXPECT_NE(s.trace_id, 0u);
+    by_id[{s.trace_id, s.span_id}] = &s;
+  }
+  std::map<uint64_t, int> roots;
+  for (const obs::Span& s : spans) {
+    if (s.parent_id == 0) {
+      EXPECT_STREQ(s.name, "request");
+      ++roots[s.trace_id];
+      continue;
+    }
+    const auto parent = by_id.find({s.trace_id, s.parent_id});
+    ASSERT_NE(parent, by_id.end())
+        << s.name << " has a dangling parent id " << s.parent_id;
+    // A child span never starts before its parent.
+    EXPECT_GE(s.start_s, parent->second->start_s - 1e-9) << s.name;
+  }
+  const int measured_ops = SmokeSpec().measured_ops;
+  EXPECT_EQ(static_cast<int>(roots.size()), measured_ops);
+  for (const auto& [trace_id, count] : roots) {
+    EXPECT_EQ(count, 1) << "trace " << trace_id;
+  }
+
+  // The slow-query log kept the slowest-N successful requests.
+  const std::vector<obs::SlowQueryRecord> slow = tracer.TakeSlowQueries();
+  ASSERT_FALSE(slow.empty());
+  for (const obs::SlowQueryRecord& rec : slow) {
+    EXPECT_TRUE(rec.slowest);
+    EXPECT_GT(rec.latency_s, 0.0);
+    EXPECT_EQ(rec.workload, "smoke");
+  }
+}
+
+TEST(WorkloadRunnerTest, TraceSamplingIsDeterministicAcrossRuns) {
+  ScopedSampleRate rate(0.5);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  std::set<uint64_t> first_ids;
+  for (int run = 0; run < 2; ++run) {
+    tracer.TakeCollected();
+    tracer.TakeSlowQueries();
+    auto engine = engine::CreateSciDb();
+    WorkloadRunner runner(SmokeSpec());
+    auto report = runner.Run(engine.get(), TinyData());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    std::set<uint64_t> ids;
+    for (const obs::Span& s : tracer.TakeCollected()) {
+      // Skip tail-kept synthetic spans: which requests end up slowest-N is
+      // timing-dependent by design; only head sampling is deterministic.
+      if (!s.synthetic) ids.insert(s.trace_id);
+    }
+    ASSERT_FALSE(ids.empty());
+    if (run == 0) {
+      first_ids = ids;
+    } else {
+      // Same seed, same schedule, same hash: the sampled set is identical.
+      EXPECT_EQ(first_ids, ids);
+    }
+  }
 }
 
 }  // namespace
