@@ -2,14 +2,18 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <map>
 #include <mutex>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "core/config.h"
 #include "core/generator.h"
 #include "engine/engines.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "workload/report.h"
@@ -166,13 +170,78 @@ std::string ExtractJsonPath(int* argc, char** argv) {
   return ExtractFlagValue(argc, argv, "--json");
 }
 
+namespace {
+
+std::string DetectGitSha() {
+  if (const char* env = std::getenv("GENBASE_GIT_SHA")) {
+    if (env[0] != '\0') return env;
+  }
+  std::string sha;
+#if defined(__linux__) || defined(__APPLE__)
+  if (std::FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      sha = buf;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    pclose(p);
+  }
+#endif
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::string IsoUtcNow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &now);
+#else
+  gmtime_r(&now, &tm_utc);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+}  // namespace
+
+const RunStamp& CurrentRunStamp() {
+  static const RunStamp* stamp = [] {
+    auto* s = new RunStamp();
+    s->git_sha = DetectGitSha();
+    s->kernel_backend = simd::BackendName(simd::ActiveBackend());
+    s->timestamp = IsoUtcNow();
+    return s;
+  }();
+  return *stamp;
+}
+
+std::string StampJson() {
+  const RunStamp& s = CurrentRunStamp();
+  // All three fields are shell-safe strings (hex sha, backend identifier,
+  // ISO timestamp) — no escaping needed.
+  return "{\"git_sha\":\"" + s.git_sha + "\",\"kernel_backend\":\"" +
+         s.kernel_backend + "\",\"timestamp\":\"" + s.timestamp + "\"}";
+}
+
 ObsDumpPaths ExtractObsPaths(int* argc, char** argv) {
   ObsDumpPaths paths;
   paths.trace_path = ExtractFlagValue(argc, argv, "--trace");
   paths.metrics_path = ExtractFlagValue(argc, argv, "--metrics");
+  paths.profile_path = ExtractFlagValue(argc, argv, "--profile");
   if (paths.metrics_path.empty()) {
     if (const char* env = std::getenv("GENBASE_METRICS_JSON")) {
       paths.metrics_path = env;
+    }
+  }
+  if (!paths.profile_path.empty()) {
+    obs::Profiler::SetEnabled(true);
+    // The folded output aggregates spans, so profile runs want them all —
+    // unless the caller pinned an explicit sampling rate for an experiment.
+    if (std::getenv("GENBASE_TRACE_SAMPLE") == nullptr) {
+      obs::Tracer::Global().set_sample_rate(1.0);
     }
   }
   return paths;
@@ -180,36 +249,51 @@ ObsDumpPaths ExtractObsPaths(int* argc, char** argv) {
 
 genbase::Status WriteObsDumps(const ObsDumpPaths& paths) {
   obs::Tracer& tracer = obs::Tracer::Global();
-  if (!paths.trace_path.empty()) {
+  if (!paths.trace_path.empty() || !paths.profile_path.empty()) {
+    // One drain feeds both artifacts: TakeCollected empties the collector,
+    // so trace and profile must come from the same snapshot.
     const std::vector<obs::Span> spans = tracer.TakeCollected();
-    if (!obs::WriteTextFile(paths.trace_path, obs::ChromeTraceJson(spans))) {
-      return genbase::Status::IOError("cannot write trace file: " +
-                                      paths.trace_path);
+    if (!paths.trace_path.empty()) {
+      if (!obs::WriteTextFile(paths.trace_path,
+                              obs::ChromeTraceJson(spans, StampJson()))) {
+        return genbase::Status::IOError("cannot write trace file: " +
+                                        paths.trace_path);
+      }
+      std::printf("# trace written to %s (%zu spans, %lld dropped)\n",
+                  paths.trace_path.c_str(), spans.size(),
+                  static_cast<long long>(tracer.spans_dropped()));
+      // The slow-query log rides along with the trace: same base name, so
+      // the two artifacts travel together through CI uploads.
+      std::string slow_path = paths.trace_path;
+      const std::string suffix = ".json";
+      if (slow_path.size() >= suffix.size() &&
+          slow_path.compare(slow_path.size() - suffix.size(), suffix.size(),
+                            suffix) == 0) {
+        slow_path.resize(slow_path.size() - suffix.size());
+      }
+      slow_path += ".slow.jsonl";
+      const std::vector<obs::SlowQueryRecord> slow = tracer.TakeSlowQueries();
+      if (!obs::WriteTextFile(slow_path, obs::SlowQueryJsonl(slow))) {
+        return genbase::Status::IOError("cannot write slow-query log: " +
+                                        slow_path);
+      }
+      std::printf("# slow-query log written to %s (%zu records)\n",
+                  slow_path.c_str(), slow.size());
     }
-    std::printf("# trace written to %s (%zu spans, %lld dropped)\n",
-                paths.trace_path.c_str(), spans.size(),
-                static_cast<long long>(tracer.spans_dropped()));
-    // The slow-query log rides along with the trace: same base name, so the
-    // two artifacts travel together through CI uploads.
-    std::string slow_path = paths.trace_path;
-    const std::string suffix = ".json";
-    if (slow_path.size() >= suffix.size() &&
-        slow_path.compare(slow_path.size() - suffix.size(), suffix.size(),
-                          suffix) == 0) {
-      slow_path.resize(slow_path.size() - suffix.size());
+    if (!paths.profile_path.empty()) {
+      const std::string folded = obs::FoldedStacks(spans);
+      if (!obs::WriteTextFile(paths.profile_path, folded)) {
+        return genbase::Status::IOError("cannot write profile file: " +
+                                        paths.profile_path);
+      }
+      std::printf("# folded stacks written to %s (%zu spans)\n",
+                  paths.profile_path.c_str(), spans.size());
     }
-    slow_path += ".slow.jsonl";
-    const std::vector<obs::SlowQueryRecord> slow = tracer.TakeSlowQueries();
-    if (!obs::WriteTextFile(slow_path, obs::SlowQueryJsonl(slow))) {
-      return genbase::Status::IOError("cannot write slow-query log: " +
-                                      slow_path);
-    }
-    std::printf("# slow-query log written to %s (%zu records)\n",
-                slow_path.c_str(), slow.size());
   }
   if (!paths.metrics_path.empty()) {
-    if (!obs::WriteTextFile(paths.metrics_path,
-                            obs::MetricsRegistry::Global().ToJson())) {
+    const std::string wrapped = "{\"stamp\":" + StampJson() + ",\"metrics\":" +
+                                obs::MetricsRegistry::Global().ToJson() + "}";
+    if (!obs::WriteTextFile(paths.metrics_path, wrapped)) {
       return genbase::Status::IOError("cannot write metrics file: " +
                                       paths.metrics_path);
     }
@@ -228,9 +312,11 @@ genbase::Status WriteJsonReports(
   }
   const auto& c = core::SimConfig::Get();
   std::fprintf(f,
-               "{\"figure\":\"%s\",\"config\":{\"scale\":%.17g,"
+               "{\"figure\":\"%s\",\"stamp\":%s,"
+               "\"config\":{\"scale\":%.17g,"
                "\"timeout_seconds\":%.17g},\"reports\":[",
-               figure.c_str(), c.scale, c.timeout_seconds);
+               figure.c_str(), StampJson().c_str(), c.scale,
+               c.timeout_seconds);
   for (size_t i = 0; i < reports.size(); ++i) {
     std::fprintf(f, "%s%s", i == 0 ? "" : ",", reports[i].ToJson().c_str());
   }

@@ -70,21 +70,43 @@ std::string ExtractFlagValue(int* argc, char** argv, const std::string& flag);
 /// ExtractFlagValue for the shared `--json=PATH` report flag.
 std::string ExtractJsonPath(int* argc, char** argv);
 
+/// \brief Provenance stamped into every BENCH_/TRACE_/METRICS_ artifact so
+/// the bench-history doctor can order runs and attribute regressions to a
+/// commit and kernel variant.
+struct RunStamp {
+  std::string git_sha;         ///< GENBASE_GIT_SHA, else `git rev-parse`.
+  std::string kernel_backend;  ///< simd::BackendName of the active backend.
+  std::string timestamp;       ///< ISO-8601 UTC at stamp time.
+};
+
+/// The current process's stamp (computed once).
+const RunStamp& CurrentRunStamp();
+
+/// The stamp as a JSON object: `{"git_sha":...,"kernel_backend":...,
+/// "timestamp":...}`.
+std::string StampJson();
+
 /// Observability dump destinations for a figure run (empty = skip).
 struct ObsDumpPaths {
   std::string trace_path;    ///< Chrome trace_event JSON (+ .slow.jsonl).
   std::string metrics_path;  ///< MetricsRegistry JSON snapshot.
+  std::string profile_path;  ///< Folded flame-graph stacks (PROFILE_*.folded).
 };
 
-/// Strips the shared `--trace=PATH` / `--metrics=PATH` flags (call before
-/// benchmark::Initialize, like ExtractJsonPath). When --metrics is absent,
-/// falls back to the GENBASE_METRICS_JSON environment variable.
+/// Strips the shared `--trace=PATH` / `--metrics=PATH` / `--profile=PATH`
+/// flags (call before benchmark::Initialize, like ExtractJsonPath). When
+/// --metrics is absent, falls back to the GENBASE_METRICS_JSON environment
+/// variable. `--profile=` additionally enables obs::Profiler for the run
+/// and, unless GENBASE_TRACE_SAMPLE pinned a rate, raises trace sampling to
+/// 1.0 so the folded output aggregates every request.
 ObsDumpPaths ExtractObsPaths(int* argc, char** argv);
 
 /// Writes the requested observability artifacts: drains the global tracer
-/// into `trace_path` (Chrome trace JSON) plus the slow-query log next to it
-/// (trace path with a .slow.jsonl suffix), and snapshots the global metrics
-/// registry into `metrics_path`. Empty paths skip; short writes are errors.
+/// once into `trace_path` (Chrome trace JSON, stamped) plus the slow-query
+/// log next to it (trace path with a .slow.jsonl suffix), folds the same
+/// spans into `profile_path` flame-graph stacks, and snapshots the global
+/// metrics registry into `metrics_path` (wrapped with the stamp). Empty
+/// paths skip; short writes are errors.
 genbase::Status WriteObsDumps(const ObsDumpPaths& paths);
 
 /// Dumps workload reports as one machine-readable JSON document

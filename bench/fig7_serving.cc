@@ -33,6 +33,7 @@
 #include "core/config.h"
 #include "core/reference.h"
 #include "engine/engines.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serving/serving_stack.h"
 #include "workload/report.h"
@@ -378,6 +379,116 @@ int64_t RunObservabilityGates() {
   return failures;
 }
 
+/// Profiler gates. (a) Overhead: enabling resource profiling (per-stage
+/// thread-CPU reads, alloc deltas, RSS samples, perf-counter scopes) must
+/// cost <3% throughput against the identical unprofiled run — same
+/// best-of-3 interleaved-pair + one-retry structure as the tracing gate,
+/// with sampling pinned to 0 so only the profiler cost is measured.
+/// (b) Attribution sanity, on the figure's own recorded runs when they were
+/// profiled: every stage's CPU sum must fit in its wall sum (the clamp
+/// guarantees it — this catches the clamp breaking), and the queue stage —
+/// a condvar wait — must be <10% on-CPU across the overload sweep, where
+/// queue wall time is substantial. Returns the number of gate failures.
+int64_t RunProfilerGates() {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const double saved_rate = tracer.sample_rate();
+  const bool saved_profiling = obs::Profiler::Enabled();
+  tracer.set_sample_rate(0.0);
+
+  const ServingEngineSpec& engine = ServingEngines().front();
+  serving::ServingOptions options;
+  options.shards = 2;
+  options.cache_enabled = true;
+  workload::WorkloadSpec spec = BaseSpec(1);
+  spec.warmup_ops = 10;
+  spec.measured_ops = 240;
+  spec.verify = false;
+
+  const auto cell_qps = [&](bool profiled) {
+    obs::Profiler::SetEnabled(profiled);
+    const auto report = RunOnce(engine, spec, options);
+    return report.ok() ? report->achieved_qps() : -1.0;
+  };
+
+  constexpr double kMaxOverhead = 0.03;
+  int64_t failures = 0;
+  double overhead = 0.0;
+  bool gate_ok = false;
+  bool run_failed = false;
+  for (int attempt = 0; attempt < 2 && !gate_ok && !run_failed; ++attempt) {
+    double best_off = 0.0;
+    double best_on = 0.0;
+    for (int pair = 0; pair < 3 && !run_failed; ++pair) {
+      const double qps_off = cell_qps(false);
+      const double qps_on = cell_qps(true);
+      run_failed = qps_off < 0 || qps_on < 0;
+      best_off = std::max(best_off, qps_off);
+      best_on = std::max(best_on, qps_on);
+    }
+    if (run_failed) break;
+    overhead = best_off > 0 ? (best_off - best_on) / best_off : 0.0;
+    gate_ok = overhead <= kMaxOverhead;
+  }
+  tracer.set_sample_rate(saved_rate);
+  obs::Profiler::SetEnabled(saved_profiling);
+  if (run_failed) {
+    std::printf("# profiler overhead gate FAIL: gate cell did not run\n");
+    ++failures;
+  } else {
+    std::printf(
+        "# profiler overhead gate %s: profiling costs %.2f%% throughput "
+        "(limit %.0f%%)\n",
+        gate_ok ? "PASS" : "FAIL", overhead * 100, kMaxOverhead * 100);
+    if (!gate_ok) ++failures;
+  }
+
+  // (b) cpu/wall attribution sanity over the recorded (profiled) runs.
+  bool any_profiled = false;
+  int64_t ratio_failures = 0;
+  double overload_queue_wall_s = 0.0;
+  double overload_queue_cpu_s = 0.0;
+  for (const auto& [key, report] : Reports()) {
+    if (!report.profiled) continue;
+    any_profiled = true;
+    for (int s = 0; s < obs::kNumRequestStages; ++s) {
+      if (report.total.stage_cpu_s[s] >
+          report.total.stage_wall_s[s] * (1.0 + 1e-9) + 1e-9) {
+        std::printf("# cpu/wall gate FAIL: %s stage %s cpu %.6fs > wall "
+                    "%.6fs\n",
+                    key.c_str(),
+                    obs::RequestStageName(static_cast<obs::RequestStage>(s)),
+                    report.total.stage_cpu_s[s],
+                    report.total.stage_wall_s[s]);
+        ++ratio_failures;
+      }
+    }
+    if (report.offered_qps > 0) {
+      overload_queue_wall_s +=
+          report.total.stage_wall_s[static_cast<int>(
+              obs::RequestStage::kQueue)];
+      overload_queue_cpu_s +=
+          report.total.stage_cpu_s[static_cast<int>(
+              obs::RequestStage::kQueue)];
+    }
+  }
+  if (any_profiled) {
+    // Gate the queue ratio only when the overload sweep actually queued —
+    // below the floor a ratio of two near-zeros is noise, not signal.
+    if (overload_queue_wall_s > 0.05) {
+      const double ratio = overload_queue_cpu_s / overload_queue_wall_s;
+      const bool queue_ok = ratio < 0.1;
+      std::printf("# queue cpu/wall gate %s: %.3f across overload runs "
+                  "(%.3fs wall; limit 0.1)\n",
+                  queue_ok ? "PASS" : "FAIL", ratio, overload_queue_wall_s);
+      if (!queue_ok) ++ratio_failures;
+    }
+    std::printf("# cpu<=wall gate %s across profiled runs\n",
+                ratio_failures == 0 ? "PASS" : "FAIL");
+    failures += ratio_failures;
+  }
+  return failures;
+}
+
 }  // namespace
 }  // namespace genbase::bench
 
@@ -392,7 +503,8 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const int64_t failures = genbase::bench::PrintFigure();
-  const int64_t gate_failures = genbase::bench::RunObservabilityGates();
+  const int64_t gate_failures = genbase::bench::RunObservabilityGates() +
+                                genbase::bench::RunProfilerGates();
   std::vector<genbase::workload::WorkloadReport> reports;
   for (const auto& [key, report] : genbase::bench::Reports()) {
     reports.push_back(report);

@@ -33,6 +33,7 @@
 #include "linalg/blas.h"
 #include "linalg/covariance.h"
 #include "linalg/matrix.h"
+#include "obs/perf_counters.h"
 
 namespace {
 
@@ -271,6 +272,57 @@ ResidueAccounting CountResidueWork() {
   return acc;
 }
 
+/// Hardware-counter profile of the SIMD kernel variants: one delta-read of
+/// the thread's perf_event group around a fixed batch of invocations per
+/// kernel. When the counters cannot open (perf_event_paranoid, no PMU,
+/// non-Linux) every reading is invalid and serializes as nulls — the
+/// profile degrades, the benchmark never fails because of it.
+std::map<std::string, genbase::obs::PerfReading> ProfileKernels() {
+  std::map<std::string, genbase::obs::PerfReading> out;
+  genbase::obs::PerfCounterSet* counters = genbase::obs::ThreadPerfCounters();
+  ScopedBackend sb(kSimd);
+
+  const std::vector<double> xv = RandomVector(kVecLen, 1);
+  std::vector<double> yv = RandomVector(kVecLen, 2);
+  const Matrix gemv_a = RandomMatrix(kGemvRows, kGemvCols, 3);
+  const std::vector<double> gemv_x = RandomVector(kGemvCols, 4);
+  std::vector<double> gemv_y(static_cast<size_t>(kGemvRows));
+  const Matrix gemm_a = RandomMatrix(kGemmM, kGemmK, 5);
+  const Matrix gemm_b = RandomMatrix(kGemmK, kGemmN, 6);
+  Matrix gemm_c(kGemmM, kGemmN);
+  const Matrix syrk_a = RandomMatrix(kSyrkRows, kSyrkCols, 7);
+  Matrix syrk_c(kSyrkCols, kSyrkCols);
+
+  const auto profile = [&](const std::string& name, int reps, auto body) {
+    const genbase::obs::PerfReading begin = counters->Read();
+    for (int r = 0; r < reps; ++r) body();
+    out[name] = counters->Read() - begin;
+  };
+  profile("dot/simd", 200, [&] {
+    benchmark::DoNotOptimize(genbase::linalg::Dot(xv.data(), yv.data(),
+                                                  kVecLen));
+  });
+  profile("gemv/simd", 50, [&] {
+    genbase::linalg::Gemv(MatrixView(gemv_a), gemv_x.data(), gemv_y.data());
+    benchmark::DoNotOptimize(gemv_y.data());
+  });
+  profile("gemm/simd", 3, [&] {
+    benchmark::DoNotOptimize(
+        genbase::linalg::Gemm(MatrixView(gemm_a), MatrixView(gemm_b),
+                              &gemm_c));
+  });
+  profile("syrk/simd", 3, [&] {
+    benchmark::DoNotOptimize(genbase::linalg::Syrk(MatrixView(syrk_a),
+                                                   &syrk_c));
+  });
+  profile("covariance/simd", 3, [&] {
+    auto cov = genbase::linalg::CovarianceMatrix(
+        MatrixView(syrk_a), genbase::linalg::KernelQuality::kTuned);
+    benchmark::DoNotOptimize(cov);
+  });
+  return out;
+}
+
 /// Baseline files keep one kernel per line: `"gemm/scalar":{"ns":123.4},`.
 std::map<std::string, double> ParseBaseline(const std::string& path,
                                             bool* ok) {
@@ -293,14 +345,17 @@ std::map<std::string, double> ParseBaseline(const std::string& path,
   return out;
 }
 
-int WriteJson(const std::string& path, const ResidueAccounting& acc) {
+int WriteJson(const std::string& path, const ResidueAccounting& acc,
+              const std::map<std::string, genbase::obs::PerfReading>& perf) {
   if (path.empty()) return 0;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\"figure\":\"kernelbench\",\"cpu\":{\"avx2\":%s},\n",
+  std::fprintf(f, "{\"figure\":\"kernelbench\",\"stamp\":%s,\n",
+               genbase::bench::StampJson().c_str());
+  std::fprintf(f, "\"cpu\":{\"avx2\":%s},\n",
                genbase::simd::CpuSupportsAvx2() ? "true" : "false");
   std::fprintf(f, "\"kernels\":{\n");
   bool first = true;
@@ -310,7 +365,14 @@ int WriteJson(const std::string& path, const ResidueAccounting& acc) {
                  name.c_str(), ns, flops > 0 && ns > 0 ? flops / ns : 0.0);
     first = false;
   }
-  std::fprintf(f, "\n},\n\"residue\":{");
+  std::fprintf(f, "\n},\n\"perf\":{");
+  first = true;
+  for (const auto& [name, reading] : perf) {
+    std::fprintf(f, "%s\"%s\":%s", first ? "" : ",", name.c_str(),
+                 reading.ToJson().c_str());
+    first = false;
+  }
+  std::fprintf(f, "},\n\"residue\":{");
   std::fprintf(f,
                "\"reference_flops\":%lld,\"incremental_flops\":%lld,"
                "\"flop_ratio\":%.2f,\"reference_iterations\":%lld,"
@@ -357,6 +419,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
   const ResidueAccounting acc = CountResidueWork();
+  const std::map<std::string, genbase::obs::PerfReading> perf =
+      ProfileKernels();
 
   // Summary: scalar vs SIMD speedups plus the residue-engine accounting.
   std::printf("\n--- kernelbench summary (avx2 %s) ---\n",
@@ -364,6 +428,19 @@ int main(int argc, char** argv) {
   for (const char* k : {"dot", "axpy", "gemv", "gemm", "syrk",
                         "covariance"}) {
     std::printf("  %-10s simd speedup %.2fx\n", k, SpeedupOf(k));
+  }
+  bool perf_valid = false;
+  for (const auto& [name, reading] : perf) {
+    if (!reading.valid) continue;
+    perf_valid = true;
+    std::printf("  %-16s ipc %.2f  cache-miss %.1f%%  (%.2e cycles)\n",
+                name.c_str(), reading.ipc(),
+                100.0 * reading.cache_miss_rate(),
+                static_cast<double>(reading.cycles));
+  }
+  if (!perf_valid) {
+    std::printf("  hardware counters unavailable "
+                "(perf_event_open denied or no PMU)\n");
   }
   const auto ref_it = Results().find("residue/reference");
   const auto inc_it = Results().find("residue/incremental");
@@ -379,7 +456,7 @@ int main(int argc, char** argv) {
                 acc.flop_ratio());
   }
 
-  int failures = WriteJson(json_path, acc);
+  int failures = WriteJson(json_path, acc, perf);
 
   // The FLOP-reduction gate is deterministic: enforce it on every run.
   if (acc.flop_ratio() < 5.0) {

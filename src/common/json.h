@@ -1,0 +1,57 @@
+#ifndef GENBASE_COMMON_JSON_H_
+#define GENBASE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace genbase::json {
+
+/// \brief Minimal JSON document model, sized for this repo's own artifacts:
+/// BENCH_*.json reports, TRACE_*.json span dumps and METRICS_*.json
+/// snapshots are all emitted by hand-rolled printers here, and the
+/// bench-history doctor plus the exporter round-trip tests need to read them
+/// back without growing a third-party dependency. Standard JSON only —
+/// no comments, no trailing commas, UTF-8 passed through uninterpreted
+/// (\uXXXX escapes above ASCII are preserved verbatim as text).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Insertion-ordered, duplicate keys preserved (last one wins in Find).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  /// Member `key` as a number / string, with a default when the member is
+  /// absent or has the wrong type — the doctor reads loosely-versioned
+  /// artifacts, so absence must be cheap to handle.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected). Errors carry a byte offset.
+genbase::Result<Value> Parse(const std::string& text);
+
+}  // namespace genbase::json
+
+#endif  // GENBASE_COMMON_JSON_H_

@@ -5,9 +5,43 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace genbase {
 
 namespace {
+
+const char* LevelLabel(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+/// One counter per (metric, level); resolved once per level, not per message.
+obs::Counter* LevelCounter(const char* name, LogLevel level) {
+  static obs::Counter* counters[2][4] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* names[2] = {"log_messages_total",
+                            "log_messages_suppressed_total"};
+    for (int m = 0; m < 2; ++m) {
+      for (int l = 0; l < 4; ++l) {
+        counters[m][l] = obs::MetricsRegistry::Global().GetCounter(
+            names[m], {{"level", LevelLabel(static_cast<LogLevel>(l))}});
+      }
+    }
+  });
+  const int m = std::strcmp(name, "log_messages_total") == 0 ? 0 : 1;
+  return counters[m][static_cast<int>(level)];
+}
 
 LogLevel ParseEnvLevel() {
   const char* env = std::getenv("GENBASE_LOG");
@@ -58,8 +92,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
+  LevelCounter("log_messages_total", level_)->Inc();
   std::lock_guard<std::mutex> lock(LogMutex());
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+bool LogEveryNShouldLog(std::atomic<int64_t>* counter, int64_t n,
+                        LogLevel level) {
+  if (n <= 1) return true;
+  const int64_t occurrence =
+      counter->fetch_add(1, std::memory_order_relaxed);
+  if (occurrence % n == 0) return true;
+  LevelCounter("log_messages_suppressed_total", level)->Inc();
+  return false;
 }
 
 }  // namespace internal

@@ -1,6 +1,8 @@
 #ifndef GENBASE_COMMON_LOGGING_H_
 #define GENBASE_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -28,6 +30,14 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Decision half of GENBASE_LOG_EVERY_N: bumps the call site's occurrence
+/// counter and returns true for the occurrences that should emit (the first,
+/// then every n-th). Suppressed occurrences are counted in
+/// `log_messages_suppressed_total{level=...}` so a muted hot log is still
+/// visible in the metrics snapshot.
+bool LogEveryNShouldLog(std::atomic<int64_t>* counter, int64_t n,
+                        LogLevel level);
+
 }  // namespace internal
 }  // namespace genbase
 
@@ -36,6 +46,22 @@ class LogMessage {
   } else                                                                \
     ::genbase::internal::LogMessage(::genbase::LogLevel::k##level,      \
                                     __FILE__, __LINE__)                 \
+        .stream()
+
+/// Rate-limited logging for per-operation paths: emits the 1st, (n+1)th,
+/// (2n+1)th... occurrence at this call site, counts the rest as suppressed.
+/// The occurrence counter only ticks when `level` clears the global
+/// threshold, so disabled-level sites cost one comparison, same as
+/// GENBASE_LOG.
+#define GENBASE_LOG_EVERY_N(level, n)                                       \
+  if (::genbase::LogLevel::k##level < ::genbase::GlobalLogLevel()) {        \
+  } else if (static std::atomic<int64_t> genbase_log_count_{0};             \
+             !::genbase::internal::LogEveryNShouldLog(                      \
+                 &genbase_log_count_, (n),                                  \
+                 ::genbase::LogLevel::k##level)) {                          \
+  } else                                                                    \
+    ::genbase::internal::LogMessage(::genbase::LogLevel::k##level,          \
+                                    __FILE__, __LINE__)                     \
         .stream()
 
 #endif  // GENBASE_COMMON_LOGGING_H_

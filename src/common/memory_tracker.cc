@@ -2,7 +2,32 @@
 
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace genbase {
+
+MemoryTracker::MemoryTracker(int64_t budget_bytes, std::string label)
+    : budget_(budget_bytes), label_(std::move(label)) {
+  if (label_.empty()) return;
+  // Same-label trackers are distinct instruments (one tracker per engine
+  // run): the instance label keeps their series apart in the registry.
+  const obs::Labels labels = {
+      {"tracker", label_},
+      {"instance", obs::MetricsRegistry::NextInstanceId("memtrk")}};
+  auto& registry = obs::MetricsRegistry::Global();
+  used_gauge_ = registry.GetGauge("memory_tracker_used_bytes", labels);
+  peak_gauge_ = registry.GetGauge("memory_tracker_peak_bytes", labels);
+  if (budget_ != kUnlimited) {
+    registry.GetGauge("memory_tracker_budget_bytes", labels)
+        ->Set(static_cast<double>(budget_));
+  }
+}
+
+void MemoryTracker::PublishGauges(int64_t used_now) {
+  if (used_gauge_ == nullptr) return;
+  used_gauge_->Set(static_cast<double>(used_now));
+  peak_gauge_->SetMax(static_cast<double>(used_now));
+}
 
 Status MemoryTracker::Reserve(int64_t bytes) {
   if (bytes < 0) return Status::InvalidArgument("negative reservation");
@@ -15,16 +40,20 @@ Status MemoryTracker::Reserve(int64_t bytes) {
         " bytes exceeds budget " + std::to_string(budget_) + " (in use " +
         std::to_string(now - bytes) + ")");
   }
+  reserved_total_.fetch_add(bytes, std::memory_order_relaxed);
   int64_t prev_peak = peak_.load(std::memory_order_relaxed);
   while (now > prev_peak &&
          !peak_.compare_exchange_weak(prev_peak, now,
                                       std::memory_order_relaxed)) {
   }
+  PublishGauges(now);
   return Status::OK();
 }
 
 void MemoryTracker::Release(int64_t bytes) {
-  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  const int64_t now =
+      used_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  PublishGauges(now);
 }
 
 Result<ScopedReservation> ScopedReservation::Acquire(MemoryTracker* tracker,

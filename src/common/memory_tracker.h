@@ -8,20 +8,29 @@
 
 #include "common/status.h"
 
+namespace genbase::obs {
+class Gauge;
+}  // namespace genbase::obs
+
 namespace genbase {
 
 /// \brief Byte-accounting with a budget. Each engine run owns a tracker sized
 /// to the memory model of the system it emulates; exceeding the budget turns
 /// into Status::OutOfMemory, which the benchmark driver reports as INF —
 /// exactly the paper's "temporary space allocation failed" outcome.
+///
+/// Labelled trackers additionally export `memory_tracker_used_bytes`,
+/// `memory_tracker_peak_bytes` and `memory_tracker_budget_bytes` gauges
+/// (labels: tracker=<label>, instance=<unique>) so memory pressure shows up
+/// in METRICS_* snapshots next to the serving counters. Unlabelled trackers
+/// stay metrics-free — tests construct thousands of them.
 class MemoryTracker {
  public:
   static constexpr int64_t kUnlimited =
       std::numeric_limits<int64_t>::max();
 
   explicit MemoryTracker(int64_t budget_bytes = kUnlimited,
-                         std::string label = "")
-      : budget_(budget_bytes), label_(std::move(label)) {}
+                         std::string label = "");
 
   /// Attempts to reserve bytes against the budget.
   Status Reserve(int64_t bytes);
@@ -31,6 +40,13 @@ class MemoryTracker {
 
   int64_t used() const { return used_.load(std::memory_order_relaxed); }
   int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  /// Monotone sum of every successful reservation — never decremented, so
+  /// before/after deltas measure allocation activity inside a window even
+  /// when everything was released again (the profiler's per-request
+  /// alloc_delta_bytes).
+  int64_t reserved_total() const {
+    return reserved_total_.load(std::memory_order_relaxed);
+  }
   int64_t budget() const { return budget_; }
   const std::string& label() const { return label_; }
 
@@ -40,10 +56,15 @@ class MemoryTracker {
   }
 
  private:
+  void PublishGauges(int64_t used_now);
+
   std::atomic<int64_t> used_{0};
   std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> reserved_total_{0};
   int64_t budget_;
   std::string label_;
+  obs::Gauge* used_gauge_ = nullptr;  ///< Non-null only for labelled trackers.
+  obs::Gauge* peak_gauge_ = nullptr;
 };
 
 /// \brief RAII reservation; releases on destruction. Use via Acquire().

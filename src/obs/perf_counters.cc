@@ -1,0 +1,172 @@
+#include "obs/perf_counters.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace genbase::obs {
+
+PerfReading& PerfReading::operator+=(const PerfReading& other) {
+  valid = valid || other.valid;
+  cycles += other.cycles;
+  instructions += other.instructions;
+  cache_references += other.cache_references;
+  cache_misses += other.cache_misses;
+  branch_misses += other.branch_misses;
+  return *this;
+}
+
+PerfReading PerfReading::operator-(const PerfReading& other) const {
+  PerfReading d;
+  d.valid = valid && other.valid;
+  d.cycles = cycles - other.cycles;
+  d.instructions = instructions - other.instructions;
+  d.cache_references = cache_references - other.cache_references;
+  d.cache_misses = cache_misses - other.cache_misses;
+  d.branch_misses = branch_misses - other.branch_misses;
+  return d;
+}
+
+std::string PerfReading::ToJson() const {
+  if (!valid) {
+    return "{\"cycles\":null,\"instructions\":null,"
+           "\"cache_references\":null,\"cache_misses\":null,"
+           "\"branch_misses\":null,\"ipc\":null,\"cache_miss_rate\":null}";
+  }
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"cycles\":%lld,\"instructions\":%lld,"
+                "\"cache_references\":%lld,\"cache_misses\":%lld,"
+                "\"branch_misses\":%lld,\"ipc\":%.3f,"
+                "\"cache_miss_rate\":%.4f}",
+                static_cast<long long>(cycles),
+                static_cast<long long>(instructions),
+                static_cast<long long>(cache_references),
+                static_cast<long long>(cache_misses),
+                static_cast<long long>(branch_misses), ipc(),
+                cache_miss_rate());
+  return buf;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenEvent(uint32_t type, uint64_t config, int group_fd, uint64_t* id) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // The leader starts the group.
+  attr.exclude_kernel = 1;  // Paranoid levels >= 1 forbid kernel counts.
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+  const int fd = static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+              /*flags=*/0));
+  if (fd >= 0 && id != nullptr) {
+    if (ioctl(fd, PERF_EVENT_IOC_ID, id) != 0) *id = 0;
+  }
+  return fd;
+}
+
+}  // namespace
+
+bool PerfCounterSet::Open() {
+  if (open_attempted_) return available();
+  open_attempted_ = true;
+  struct EventSpec {
+    uint32_t type;
+    uint64_t config;
+  };
+  const EventSpec specs[kNumEvents] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+  };
+  for (int i = 0; i < kNumEvents; ++i) {
+    fds_[i] = OpenEvent(specs[i].type, specs[i].config,
+                        i == 0 ? -1 : fds_[0], &ids_[i]);
+    if (fds_[i] < 0) {
+      // All-or-nothing: a partial group would silently bias every rate
+      // derived from the missing member. Close and degrade to unavailable.
+      Close();
+      return false;
+    }
+  }
+  group_fd_ = fds_[0];
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return true;
+}
+
+PerfReading PerfCounterSet::Read() const {
+  PerfReading reading;
+  if (!available()) return reading;
+  // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout: nr, then {value, id} pairs.
+  struct {
+    uint64_t nr;
+    struct {
+      uint64_t value;
+      uint64_t id;
+    } values[kNumEvents];
+  } data;
+  const ssize_t n = read(group_fd_, &data, sizeof(data));
+  if (n < static_cast<ssize_t>(sizeof(uint64_t)) ||
+      data.nr != static_cast<uint64_t>(kNumEvents)) {
+    return reading;
+  }
+  int64_t* fields[kNumEvents] = {&reading.cycles, &reading.instructions,
+                                 &reading.cache_references,
+                                 &reading.cache_misses,
+                                 &reading.branch_misses};
+  for (uint64_t v = 0; v < data.nr; ++v) {
+    for (int i = 0; i < kNumEvents; ++i) {
+      if (data.values[v].id == ids_[i]) {
+        *fields[i] = static_cast<int64_t>(data.values[v].value);
+      }
+    }
+  }
+  reading.valid = true;
+  return reading;
+}
+
+void PerfCounterSet::Close() {
+  for (int i = 0; i < kNumEvents; ++i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+    fds_[i] = -1;
+  }
+  group_fd_ = -1;
+}
+
+#else  // !__linux__
+
+bool PerfCounterSet::Open() {
+  open_attempted_ = true;
+  return false;
+}
+
+PerfReading PerfCounterSet::Read() const { return PerfReading{}; }
+
+void PerfCounterSet::Close() {}
+
+#endif
+
+PerfCounterSet::~PerfCounterSet() { Close(); }
+
+PerfCounterSet* ThreadPerfCounters() {
+  thread_local PerfCounterSet set;
+  if (!set.available()) set.Open();  // No-op after the first failed attempt.
+  return &set;
+}
+
+}  // namespace genbase::obs

@@ -1,0 +1,89 @@
+#ifndef GENBASE_OBS_PERF_COUNTERS_H_
+#define GENBASE_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace genbase::obs {
+
+/// \brief One reading of the hardware-counter group this repo cares about
+/// for kernel work: cycles + instructions (→ IPC), last-level-cache
+/// references + misses (→ cache-miss rate), branch misses. `valid` is false
+/// when the counters could not be read — unavailable hardware, a container
+/// with `kernel.perf_event_paranoid` locked down, or a non-Linux host — and
+/// every derived rate then reports as unavailable (JSON null), never as an
+/// error: resource profiles degrade, benchmarks keep running.
+struct PerfReading {
+  bool valid = false;
+  int64_t cycles = 0;
+  int64_t instructions = 0;
+  int64_t cache_references = 0;
+  int64_t cache_misses = 0;
+  int64_t branch_misses = 0;
+
+  double ipc() const {
+    return valid && cycles > 0
+               ? static_cast<double>(instructions) / static_cast<double>(cycles)
+               : 0.0;
+  }
+  double cache_miss_rate() const {
+    return valid && cache_references > 0
+               ? static_cast<double>(cache_misses) /
+                     static_cast<double>(cache_references)
+               : 0.0;
+  }
+
+  PerfReading& operator+=(const PerfReading& other);
+  PerfReading operator-(const PerfReading& other) const;
+
+  /// `{"cycles":N,...,"ipc":X}` — or every field null when !valid, the
+  /// "counters unavailable, not an error" contract in artifact form.
+  std::string ToJson() const;
+};
+
+/// \brief A per-thread group of hardware counters opened with
+/// `perf_event_open` (cycles leads the group so all five members stop and
+/// read together). Open once, then Read() deltas around the scopes of
+/// interest — a read is one syscall, cheap enough for per-request use on
+/// the execute stage.
+///
+/// All failure is absorbed at Open(): when the syscall is unavailable
+/// (EPERM under `kernel.perf_event_paranoid`, ENOENT in VMs without a PMU,
+/// non-Linux builds), available() is false and Read() returns an invalid
+/// reading. Counters measure the calling thread only, so each workload
+/// client owns its own set (see ThreadPerfCounters()).
+class PerfCounterSet {
+ public:
+  PerfCounterSet() = default;
+  ~PerfCounterSet();
+
+  PerfCounterSet(const PerfCounterSet&) = delete;
+  PerfCounterSet& operator=(const PerfCounterSet&) = delete;
+
+  /// Opens the counter group for the calling thread. Returns available().
+  /// Idempotent: a second call on an open set is a no-op.
+  bool Open();
+
+  bool available() const { return group_fd_ >= 0; }
+
+  /// Current cumulative counts (thread lifetime). Invalid when !available()
+  /// or the read itself fails.
+  PerfReading Read() const;
+
+  void Close();
+
+ private:
+  static constexpr int kNumEvents = 5;
+  int group_fd_ = -1;
+  int fds_[kNumEvents] = {-1, -1, -1, -1, -1};
+  uint64_t ids_[kNumEvents] = {0, 0, 0, 0, 0};
+  bool open_attempted_ = false;
+};
+
+/// The calling thread's lazily-opened counter set (one per thread, opened on
+/// first use, closed at thread exit). Never nullptr; check ->available().
+PerfCounterSet* ThreadPerfCounters();
+
+}  // namespace genbase::obs
+
+#endif  // GENBASE_OBS_PERF_COUNTERS_H_

@@ -1,0 +1,140 @@
+#include "obs/profiler.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace genbase::obs {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("GENBASE_PROFILE");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnabledFromEnv()};
+  return flag;
+}
+
+}  // namespace
+
+bool Profiler::Enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void Profiler::SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+double Profiler::CpuBegin() {
+  if (!Enabled()) return -1.0;
+  return ThreadCpuTimer::Now();
+}
+
+double Profiler::CpuDelta(double begin) {
+  if (begin < 0.0) return 0.0;
+  const double d = ThreadCpuTimer::Now() - begin;
+  return d > 0.0 ? d : 0.0;
+}
+
+int64_t ReadRssBytes() {
+#if defined(__linux__)
+  // /proc/self/statm: "size resident shared text lib data dt", in pages.
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return -1;
+  long long size_pages = 0;
+  long long resident_pages = 0;
+  const int matched = std::fscanf(f, "%lld %lld", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return -1;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<int64_t>(resident_pages) *
+         static_cast<int64_t>(page > 0 ? page : 4096);
+#else
+  return -1;
+#endif
+}
+
+int64_t SampleProcessRss() {
+  const int64_t rss = ReadRssBytes();
+  if (rss < 0) return rss;
+  static Gauge* current =
+      MetricsRegistry::Global().GetGauge("process_rss_bytes", {});
+  static Gauge* peak =
+      MetricsRegistry::Global().GetGauge("process_peak_rss_bytes", {});
+  current->Set(static_cast<double>(rss));
+  peak->SetMax(static_cast<double>(rss));
+  return rss;
+}
+
+namespace {
+
+/// Lock-free process-wide execute-perf accumulator. Individual fields are
+/// relaxed and independently updated, so a snapshot is not an atomic cut
+/// across fields — acceptable for the monotone before/after-phase deltas the
+/// reports take, where per-field drift is bounded by one in-flight request.
+struct PerfAccumulator {
+  std::atomic<int64_t> cycles{0};
+  std::atomic<int64_t> instructions{0};
+  std::atomic<int64_t> cache_references{0};
+  std::atomic<int64_t> cache_misses{0};
+  std::atomic<int64_t> branch_misses{0};
+  std::atomic<int64_t> samples{0};
+};
+
+PerfAccumulator& ExecuteAccumulator() {
+  static PerfAccumulator acc;
+  return acc;
+}
+
+}  // namespace
+
+ExecutePerfTotals ExecutePerfSnapshot() {
+  PerfAccumulator& acc = ExecuteAccumulator();
+  ExecutePerfTotals t;
+  t.samples = acc.samples.load(std::memory_order_relaxed);
+  t.reading.valid = t.samples > 0;
+  t.reading.cycles = acc.cycles.load(std::memory_order_relaxed);
+  t.reading.instructions = acc.instructions.load(std::memory_order_relaxed);
+  t.reading.cache_references =
+      acc.cache_references.load(std::memory_order_relaxed);
+  t.reading.cache_misses = acc.cache_misses.load(std::memory_order_relaxed);
+  t.reading.branch_misses = acc.branch_misses.load(std::memory_order_relaxed);
+  return t;
+}
+
+ScopedExecutePerf::ScopedExecutePerf() {
+  if (!Profiler::Enabled()) return;
+  PerfCounterSet* set = ThreadPerfCounters();
+  if (!set->available()) return;
+  begin_ = set->Read();
+  active_ = begin_.valid;
+}
+
+ScopedExecutePerf::~ScopedExecutePerf() {
+  if (!active_) return;
+  const PerfReading end = ThreadPerfCounters()->Read();
+  if (!end.valid) return;
+  const PerfReading d = end - begin_;
+  PerfAccumulator& acc = ExecuteAccumulator();
+  acc.cycles.fetch_add(d.cycles, std::memory_order_relaxed);
+  acc.instructions.fetch_add(d.instructions, std::memory_order_relaxed);
+  acc.cache_references.fetch_add(d.cache_references,
+                                 std::memory_order_relaxed);
+  acc.cache_misses.fetch_add(d.cache_misses, std::memory_order_relaxed);
+  acc.branch_misses.fetch_add(d.branch_misses, std::memory_order_relaxed);
+  acc.samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace genbase::obs

@@ -1,0 +1,87 @@
+#ifndef GENBASE_OBS_PROFILER_H_
+#define GENBASE_OBS_PROFILER_H_
+
+#include <cstdint>
+
+#include "obs/perf_counters.h"
+
+namespace genbase::obs {
+
+/// \brief Process-global resource-profiling switch. When enabled, the
+/// request path additionally captures per-stage thread-CPU time
+/// (CLOCK_THREAD_CPUTIME_ID next to every stage's wall clock), per-request
+/// allocation deltas, periodic RSS samples, and hardware-counter deltas
+/// around the execute stage. When disabled — the default — every capture
+/// point is a single relaxed atomic load and a branch, so the serving hot
+/// path pays nothing (fig7 gates the enabled cost at < 3% throughput).
+///
+/// Enabled by the `--profile=` flag on the figure benches or the
+/// GENBASE_PROFILE environment variable (any non-empty value but "0").
+class Profiler {
+ public:
+  static bool Enabled();
+  static void SetEnabled(bool enabled);
+
+  /// Thread-CPU clock reading for stage attribution: seconds on
+  /// CLOCK_THREAD_CPUTIME_ID, or a negative sentinel when profiling is
+  /// disabled (CpuDelta then reports 0 — callers never branch themselves).
+  static double CpuBegin();
+  static double CpuDelta(double begin);
+};
+
+/// --- process memory ----------------------------------------------------------
+
+/// Resident set size from /proc/self/statm, in bytes; -1 where unavailable
+/// (non-Linux). One small pread — microseconds, safe to sample every few
+/// requests.
+int64_t ReadRssBytes();
+
+/// Samples RSS into the registry gauges `process_rss_bytes` (last sample)
+/// and `process_peak_rss_bytes` (high-water mark across samples). No-op when
+/// RSS is unavailable. Returns the sampled value for callers that want it.
+int64_t SampleProcessRss();
+
+/// --- execute-stage hardware counters -----------------------------------------
+
+/// \brief Process-wide accumulation of hardware-counter deltas attributed to
+/// the execute stage, summed across client threads. Monotone, like the
+/// registry counters: report writers snapshot before/after a measured phase
+/// and subtract. `samples` counts scopes that contributed valid readings —
+/// zero means counters were unavailable and the derived rates are
+/// meaningless (exported as null).
+struct ExecutePerfTotals {
+  PerfReading reading;
+  int64_t samples = 0;
+
+  ExecutePerfTotals operator-(const ExecutePerfTotals& other) const {
+    ExecutePerfTotals d;
+    d.reading = reading - other.reading;
+    d.reading.valid = samples - other.samples > 0;
+    d.samples = samples - other.samples;
+    return d;
+  }
+};
+
+ExecutePerfTotals ExecutePerfSnapshot();
+
+/// \brief RAII hardware-counter scope for the execute stage: reads the
+/// calling thread's counter group on entry and exit, accumulates the delta
+/// into the process totals. Inert (one atomic load) when profiling is
+/// disabled, and silently contributes nothing when counters are
+/// unavailable — degradation, never failure.
+class ScopedExecutePerf {
+ public:
+  ScopedExecutePerf();
+  ~ScopedExecutePerf();
+
+  ScopedExecutePerf(const ScopedExecutePerf&) = delete;
+  ScopedExecutePerf& operator=(const ScopedExecutePerf&) = delete;
+
+ private:
+  bool active_ = false;
+  PerfReading begin_;
+};
+
+}  // namespace genbase::obs
+
+#endif  // GENBASE_OBS_PROFILER_H_

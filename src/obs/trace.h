@@ -40,16 +40,33 @@ const char* RequestStageName(RequestStage stage);
 /// histograms stay exact while traces stay sampled. Invariants kept by the
 /// serving stack: queue + flight == queue_delay, cache + dispatch +
 /// execute == cell.total_s; verify is added by the runner.
+///
+/// When the resource profiler is enabled (see obs/profiler.h), `cpu` holds
+/// the thread-CPU seconds (CLOCK_THREAD_CPUTIME_ID) spent inside each
+/// stage's wall window, clamped per stage to cpu <= wall. Blocking stages
+/// (queue, flight) burn near-zero CPU while their wall time grows under
+/// overload; modeled network time in dispatch contributes no CPU at all.
+/// All zeros when profiling is off.
 struct StageSeconds {
   double s[kNumRequestStages] = {0, 0, 0, 0, 0, 0};
+  double cpu[kNumRequestStages] = {0, 0, 0, 0, 0, 0};
 
   double& operator[](RequestStage stage) { return s[static_cast<int>(stage)]; }
   double operator[](RequestStage stage) const {
     return s[static_cast<int>(stage)];
   }
+  double& Cpu(RequestStage stage) { return cpu[static_cast<int>(stage)]; }
+  double Cpu(RequestStage stage) const {
+    return cpu[static_cast<int>(stage)];
+  }
   double Sum() const {
     double t = 0;
     for (double v : s) t += v;
+    return t;
+  }
+  double CpuSum() const {
+    double t = 0;
+    for (double v : cpu) t += v;
     return t;
   }
 };
@@ -88,6 +105,9 @@ struct SlowQueryRecord {
   double start_s = 0.0;    ///< Tracer-anchor seconds of arrival.
   double latency_s = 0.0;  ///< Coordinated-omission-corrected end-to-end.
   StageSeconds stages;
+  /// MemoryTracker reservation activity during the request window (bytes,
+  /// monotone reserved-total delta); -1 when unknown / profiling disabled.
+  int64_t alloc_delta_bytes = -1;
   bool shed = false;
   bool stale_tripwire = false;
   bool deadline_missed = false;

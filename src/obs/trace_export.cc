@@ -1,8 +1,13 @@
 #include "obs/trace_export.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <unordered_map>
+#include <vector>
 
 namespace genbase::obs {
 
@@ -49,8 +54,15 @@ std::string Num(double v) {
 
 }  // namespace
 
-std::string ChromeTraceJson(const std::vector<Span>& spans) {
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+std::string ChromeTraceJson(const std::vector<Span>& spans,
+                            const std::string& stamp_json) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",";
+  if (!stamp_json.empty()) {
+    out.append("\"metadata\":");
+    out.append(stamp_json);
+    out.push_back(',');
+  }
+  out.append("\"traceEvents\":[");
   bool first = true;
   for (const Span& span : spans) {
     if (!first) out.push_back(',');
@@ -106,7 +118,25 @@ std::string SlowQueryJsonl(const std::vector<SlowQueryRecord>& records) {
       out.append("\":");
       out.append(Num(r.stages.s[i]));
     }
-    out.append("},\"shed\":");
+    // CPU attribution rides along only when the profiler captured it —
+    // an all-zero object would be indistinguishable from "measured, idle".
+    if (r.stages.CpuSum() > 0.0) {
+      out.append("},\"stages_cpu_s\":{");
+      for (int i = 0; i < kNumRequestStages; ++i) {
+        if (i > 0) out.push_back(',');
+        out.push_back('"');
+        out.append(RequestStageName(static_cast<RequestStage>(i)));
+        out.append("\":");
+        out.append(Num(r.stages.cpu[i]));
+      }
+    }
+    out.append("},\"alloc_delta_bytes\":");
+    if (r.alloc_delta_bytes >= 0) {
+      out.append(std::to_string(r.alloc_delta_bytes));
+    } else {
+      out.append("null");
+    }
+    out.append(",\"shed\":");
     out.append(r.shed ? "true" : "false");
     out.append(",\"stale_tripwire\":");
     out.append(r.stale_tripwire ? "true" : "false");
@@ -121,6 +151,73 @@ std::string SlowQueryJsonl(const std::vector<SlowQueryRecord>& records) {
   return out;
 }
 
+std::string FoldedStacks(const std::vector<Span>& spans) {
+  // Index the forest. Span ids are unique within a trace but reused across
+  // traces, so key by (trace_id, span_id).
+  struct Key {
+    uint64_t trace_id;
+    uint64_t span_id;
+    bool operator==(const Key& o) const {
+      return trace_id == o.trace_id && span_id == o.span_id;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.trace_id * 0x9E3779B97F4A7C15ull ^
+                                   k.span_id);
+    }
+  };
+  std::unordered_map<Key, size_t, KeyHash> index;
+  index.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    index[{spans[i].trace_id, spans[i].span_id}] = i;
+  }
+
+  std::vector<double> child_dur(spans.size(), 0.0);
+  for (const Span& span : spans) {
+    if (span.parent_id == 0) continue;
+    const auto it = index.find({span.trace_id, span.parent_id});
+    if (it != index.end()) child_dur[it->second] += span.dur_s;
+  }
+
+  // Each span contributes its self time to its root-to-span path. Paths are
+  // built walking parent links; a missing parent (dropped span) truncates
+  // the path there rather than discarding the sample.
+  std::map<std::string, double> weights;
+  std::string path;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const double self_s = std::max(0.0, spans[i].dur_s - child_dur[i]);
+    if (self_s <= 0.0) continue;
+    path.clear();
+    size_t cur = i;
+    for (int depth = 0; depth < 64; ++depth) {
+      if (path.empty()) {
+        path = spans[cur].name;
+      } else {
+        path.insert(0, ";");
+        path.insert(0, spans[cur].name);
+      }
+      if (spans[cur].parent_id == 0) break;
+      const auto it =
+          index.find({spans[cur].trace_id, spans[cur].parent_id});
+      if (it == index.end()) break;
+      cur = it->second;
+    }
+    weights[path] += self_s;
+  }
+
+  std::string out;
+  for (const auto& [stack, seconds] : weights) {
+    const long long us = std::llround(seconds * 1e6);
+    if (us <= 0) continue;
+    out.append(stack);
+    out.push_back(' ');
+    out.append(std::to_string(us));
+    out.push_back('\n');
+  }
+  return out;
+}
+
 bool WriteTextFile(const std::string& path, const std::string& contents) {
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f.is_open()) return false;
@@ -129,4 +226,3 @@ bool WriteTextFile(const std::string& path, const std::string& contents) {
 }
 
 }  // namespace genbase::obs
-

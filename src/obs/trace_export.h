@@ -10,12 +10,25 @@ namespace genbase::obs {
 
 /// Renders spans as Chrome trace_event JSON ("X" complete events), loadable
 /// in Perfetto / chrome://tracing. Trace and span ids are carried in args
-/// (hex strings — trace ids exceed JSON's exact-integer range).
-std::string ChromeTraceJson(const std::vector<Span>& spans);
+/// (hex strings — trace ids exceed JSON's exact-integer range). When
+/// `stamp_json` is non-empty it must be a JSON object (e.g. from
+/// bench::StampJson) and is attached under "metadata" so trace artifacts
+/// carry the same provenance as bench reports.
+std::string ChromeTraceJson(const std::vector<Span>& spans,
+                            const std::string& stamp_json = {});
 
 /// Renders the slow-query log as JSONL: one JSON object per line, one line
-/// per tail-kept request, with per-stage seconds and the keep reasons.
+/// per tail-kept request, with per-stage wall and CPU seconds, the
+/// allocation delta, and the keep reasons.
 std::string SlowQueryJsonl(const std::vector<SlowQueryRecord>& records);
+
+/// Aggregates a span forest into folded-stack lines — the input format of
+/// flamegraph.pl / speedscope / inferno: one line per distinct root-to-leaf
+/// path, `name;child;grandchild <self-weight-in-us>`, sorted by path.
+/// Weights are self time (span duration minus the sum of its children), so
+/// stack totals reconstruct exactly and no time is double-counted. Spans
+/// with unresolvable parents start new roots; zero-weight paths are omitted.
+std::string FoldedStacks(const std::vector<Span>& spans);
 
 /// Writes `contents` to `path` (truncating). Returns false on I/O error.
 bool WriteTextFile(const std::string& path, const std::string& contents);

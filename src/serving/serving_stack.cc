@@ -4,6 +4,7 @@
 
 #include "common/timer.h"
 #include "core/config.h"
+#include "obs/profiler.h"
 
 namespace genbase::serving {
 
@@ -154,6 +155,7 @@ ServeResult ServingStack::Serve(
   bool stale_tripwire = false;
   if (options_.cache_enabled) {
     obs::ScopedSpan cache_span("cache");
+    const double cache_cpu_begin = obs::Profiler::CpuBegin();
     WallTimer lookup_timer;
     core::QueryResult cached;
     uint64_t entry_epoch = 0;
@@ -170,9 +172,12 @@ ServeResult ServingStack::Serve(
         // (real) plus the modeled request/response round trip — no engine
         // work.
         cache_span.SetDetail("hit");
-        return ServedFromTier(query, size, std::move(cached),
-                              lookup_timer.Seconds(), options,
-                              /*coalesced=*/false);
+        ServeResult served = ServedFromTier(query, size, std::move(cached),
+                                            lookup_timer.Seconds(), options,
+                                            /*coalesced=*/false);
+        served.stages.Cpu(obs::RequestStage::kCache) =
+            obs::Profiler::CpuDelta(cache_cpu_begin);
+        return served;
       }
       stale_hits_->Inc();
       stale_tripwire = true;
@@ -184,6 +189,7 @@ ServeResult ServingStack::Serve(
   // real queueing this op experienced, folded into its admission_wait_s and
   // flight stage below rather than dropped.
   double fallback_wait_s = 0.0;
+  double fallback_cpu_s = 0.0;
   if (options_.cache_enabled && options_.single_flight) {
     std::shared_ptr<SingleFlightTable::Flight> flight;
     if (flights_.Join(key, &flight) == SingleFlightTable::Role::kLeader) {
@@ -212,10 +218,12 @@ ServeResult ServingStack::Serve(
     // deadline admission would apply: past it, the op's client is gone.
     flight_coalesced_->Inc();
     obs::ScopedSpan flight_span("flight");
+    const double flight_cpu_begin = obs::Profiler::CpuBegin();
     WallTimer wait_timer;
     core::QueryResult flown;
     const SingleFlightTable::WaitResult wait =
         SingleFlightTable::Wait(flight.get(), start_deadline, &flown);
+    const double flight_cpu_s = obs::Profiler::CpuDelta(flight_cpu_begin);
     switch (wait) {
       case SingleFlightTable::WaitResult::kServed: {
         flight_coalesced_served_->Inc();
@@ -228,6 +236,7 @@ ServeResult ServingStack::Serve(
                                             /*coalesced=*/true);
         result.admission_wait_s = wait_timer.Seconds();
         result.stages[obs::RequestStage::kFlight] = result.admission_wait_s;
+        result.stages.Cpu(obs::RequestStage::kFlight) = flight_cpu_s;
         result.stale_tripwire = stale_tripwire;
         return result;
       }
@@ -237,6 +246,7 @@ ServeResult ServingStack::Serve(
             Shed(query, size, AdmissionOutcome::kShedTimeout,
                  "waiting on coalesced flight", wait_timer.Seconds());
         result.stages[obs::RequestStage::kFlight] = result.admission_wait_s;
+        result.stages.Cpu(obs::RequestStage::kFlight) = flight_cpu_s;
         result.stale_tripwire = stale_tripwire;
         return result;
       }
@@ -246,6 +256,7 @@ ServeResult ServingStack::Serve(
         // here), and re-joining a flight could chain waits unboundedly.
         flight_follower_fallbacks_->Inc();
         fallback_wait_s = wait_timer.Seconds();
+        fallback_cpu_s = flight_cpu_s;
         break;
     }
   }
@@ -255,6 +266,7 @@ ServeResult ServingStack::Serve(
   result.stale_tripwire = stale_tripwire;
   result.admission_wait_s += fallback_wait_s;
   result.stages[obs::RequestStage::kFlight] += fallback_wait_s;
+  result.stages.Cpu(obs::RequestStage::kFlight) += fallback_cpu_s;
   return result;
 }
 
@@ -266,16 +278,20 @@ ServeResult ServingStack::ExecuteMiss(
   ServeResult result;
   bool admitted_heavy = false;
   double admission_wait_s = 0.0;
+  double queue_cpu_s = 0.0;
   {
     obs::ScopedSpan queue_span("queue");
+    const double queue_cpu_begin = obs::Profiler::CpuBegin();
     result.admission =
         admission_.Admit(start_deadline, &admission_wait_s,
                          static_cast<int>(query), &admitted_heavy);
+    queue_cpu_s = obs::Profiler::CpuDelta(queue_cpu_begin);
   }
   if (result.admission != AdmissionOutcome::kAdmitted) {
     result = Shed(query, size, result.admission, "by admission control",
                   admission_wait_s);
     result.stages[obs::RequestStage::kQueue] = admission_wait_s;
+    result.stages.Cpu(obs::RequestStage::kQueue) = queue_cpu_s;
     if (flight != nullptr) {
       flights_.Publish(key, flight, /*ok=*/false, core::QueryResult{});
     }
@@ -283,21 +299,31 @@ ServeResult ServingStack::ExecuteMiss(
   }
   result.admission_wait_s = admission_wait_s;
   result.stages[obs::RequestStage::kQueue] = admission_wait_s;
+  result.stages.Cpu(obs::RequestStage::kQueue) = queue_cpu_s;
 
   uint64_t data_epoch = 0;
   {
     obs::ScopedSpan dispatch_span("dispatch");
+    const double dispatch_cpu_begin = obs::Profiler::CpuBegin();
     result.shard = router_->AcquireShard();
+    // The modeled network round trip added below is the dispatch stage's
+    // wall time; the shard acquire is its only real CPU.
+    result.stages.Cpu(obs::RequestStage::kDispatch) =
+        obs::Profiler::CpuDelta(dispatch_cpu_begin);
     if (dispatch_span.active()) {
       dispatch_span.SetDetail("shard " + std::to_string(result.shard));
     }
   }
   {
     obs::ScopedSpan exec_span("execute");
+    obs::ScopedExecutePerf exec_perf;
+    const double exec_cpu_begin = obs::Profiler::CpuBegin();
     const double exec_start =
         exec_span.active() ? obs::Tracer::Global().NowSeconds() : 0.0;
     result.cell = router_->RunOnShard(result.shard, query, size, options, ctx,
                                       &data_epoch);
+    result.stages.Cpu(obs::RequestStage::kExecute) =
+        obs::Profiler::CpuDelta(exec_cpu_begin);
     if (exec_span.active()) {
       // Bridge the PhaseClock breakdown as child spans: a sequential
       // data-management / analytics / glue layout under the execute span.

@@ -76,6 +76,8 @@ void OpStats::MergeFrom(const OpStats& other) {
   queue_delay.Merge(other.queue_delay);
   for (int s = 0; s < obs::kNumRequestStages; ++s) {
     stage[s].Merge(other.stage[s]);
+    stage_wall_s[s] += other.stage_wall_s[s];
+    stage_cpu_s[s] += other.stage_cpu_s[s];
   }
   e2e_latency.Merge(other.e2e_latency);
   dm_s += other.dm_s;
@@ -149,6 +151,38 @@ void WorkloadReport::Print() const {
     std::printf("  e2e=%s/%s\n",
                 FormatMillis(total.e2e_latency.Quantile(0.5)).c_str(),
                 FormatMillis(total.e2e_latency.Quantile(0.99)).c_str());
+  }
+  // Resource attribution (profiled runs only): what fraction of each stage's
+  // wall time was on-CPU. Blocking stages read near 0, compute stages near 1;
+  // a compute stage drifting down means contention, not work.
+  if (profiled && total.e2e_latency.count() > 0) {
+    std::printf("  stages cpu/wall:");
+    for (int s = 0; s < obs::kNumRequestStages; ++s) {
+      if (total.stage_wall_s[s] > 0) {
+        std::printf(" %s=%.2f",
+                    obs::RequestStageName(static_cast<obs::RequestStage>(s)),
+                    total.stage_cpu_s[s] / total.stage_wall_s[s]);
+      } else {
+        std::printf(" %s=-",
+                    obs::RequestStageName(static_cast<obs::RequestStage>(s)));
+      }
+    }
+    std::printf("\n");
+    if (execute_perf.reading.valid) {
+      std::printf("  execute perf: ipc=%.2f cache-miss=%.1f%% "
+                  "branch-miss/kinst=%.2f (%lld scopes)\n",
+                  execute_perf.reading.ipc(),
+                  execute_perf.reading.cache_miss_rate() * 100.0,
+                  execute_perf.reading.instructions > 0
+                      ? 1e3 * execute_perf.reading.branch_misses /
+                            static_cast<double>(
+                                execute_perf.reading.instructions)
+                      : 0.0,
+                  static_cast<long long>(execute_perf.samples));
+    } else if (profiled) {
+      std::printf("  execute perf: counters unavailable "
+                  "(perf_event_open denied or no PMU)\n");
+    }
   }
   // Only worth a line when queueing was actually observed: closed-loop
   // direct-engine runs record all-zero delays by construction.
@@ -325,6 +359,19 @@ void AppendOpStats(std::string* out, const OpStats& stats) {
                     stats.stage[s]);
   }
   out->push_back('}');
+  out->append(",\"stage_wall_s\":{");
+  for (int s = 0; s < obs::kNumRequestStages; ++s) {
+    if (s > 0) out->push_back(',');
+    AppendKv(out, obs::RequestStageName(static_cast<obs::RequestStage>(s)),
+             stats.stage_wall_s[s]);
+  }
+  out->append("},\"stage_cpu_s\":{");
+  for (int s = 0; s < obs::kNumRequestStages; ++s) {
+    if (s > 0) out->push_back(',');
+    AppendKv(out, obs::RequestStageName(static_cast<obs::RequestStage>(s)),
+             stats.stage_cpu_s[s]);
+  }
+  out->push_back('}');
   out->push_back(',');
   AppendHistogram(out, "e2e_latency", stats.e2e_latency);
   out->push_back('}');
@@ -362,6 +409,20 @@ std::string WorkloadReport::ToJson() const {
   AppendKv(&out, "achieved_qps", achieved_qps());
   out.push_back(',');
   AppendKv(&out, "real_goodput_qps", real_goodput_qps());
+  out.append(",\"profiled\":");
+  out.append(profiled ? "true" : "false");
+  out.append(",\"execute_perf\":");
+  if (profiled) {
+    // Counter JSON carries its own null fields when counters were
+    // unavailable; the samples count distinguishes "no scopes ran" from
+    // "scopes ran but the PMU was closed".
+    std::string perf = execute_perf.reading.ToJson();
+    perf.insert(perf.size() - 1,
+                ",\"samples\":" + std::to_string(execute_perf.samples));
+    out.append(perf);
+  } else {
+    out.append("null");
+  }
   out.append(",\"total\":");
   AppendOpStats(&out, total);
   out.append(",\"per_query\":{");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/queries.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serving/counters.h"
 #include "workload/latency_histogram.h"
@@ -62,6 +63,12 @@ struct OpStats {
   /// queue_delay, cache + dispatch + execute == the cell total, and verify
   /// is the runner's reference check.
   LatencyHistogram stage[obs::kNumRequestStages];
+  /// Summed per-stage wall and thread-CPU seconds over successful ops, for
+  /// the profiler's cpu/wall attribution (ratio of sums — stable where a
+  /// per-op ratio distribution would be noise). CPU sums stay zero unless
+  /// the run was profiled (obs::Profiler); wall sums always fill.
+  double stage_wall_s[obs::kNumRequestStages] = {0, 0, 0, 0, 0, 0};
+  double stage_cpu_s[obs::kNumRequestStages] = {0, 0, 0, 0, 0, 0};
   /// End-to-end per-op latency including verification: latency + verify.
   LatencyHistogram e2e_latency;
   double dm_s = 0.0;            ///< Summed phase seconds over ops.
@@ -99,6 +106,16 @@ struct WorkloadReport {
   /// measured-phase delta of cache/admission/shard counters.
   bool has_serving = false;
   serving::ServingCounters serving;
+
+  /// True when obs::Profiler was enabled for the measured phase: stage CPU
+  /// sums, allocation deltas and `execute_perf` carry data. When false those
+  /// fields export as null/absent rather than as misleading zeros.
+  bool profiled = false;
+
+  /// Hardware-counter delta attributed to the execute stage over the
+  /// measured phase (sum across client threads). reading.valid is false when
+  /// perf_event_open was unavailable — exported as nulls.
+  obs::ExecutePerfTotals execute_perf;
 
   double wall_seconds = 0.0;  ///< Measured-phase wall time (real clock).
   OpStats total;

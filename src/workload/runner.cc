@@ -18,6 +18,7 @@
 #include "core/queries.h"
 #include "core/reference.h"
 #include "core/verify.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace genbase::workload {
@@ -81,6 +82,8 @@ void RecordOutcome(const WorkloadRunner::OpOutcome& outcome, bool mismatched,
       stats->queue_delay.Record(outcome.queue_delay_s);
       for (int s = 0; s < obs::kNumRequestStages; ++s) {
         stats->stage[s].Record(outcome.stages.s[s]);
+        stats->stage_wall_s[s] += outcome.stages.s[s];
+        stats->stage_cpu_s[s] += outcome.stages.cpu[s];
       }
       stats->e2e_latency.Record(outcome.queue_delay_s + cell.total_s +
                                 outcome.stages[obs::RequestStage::kVerify]);
@@ -116,6 +119,7 @@ void KeepTailCandidates(const WorkloadRunner::OpOutcome& outcome,
     rec.start_s = start_s;
     rec.latency_s = e2e_s;
     rec.stages = outcome.stages;
+    rec.alloc_delta_bytes = outcome.alloc_delta_bytes;
     rec.shed = outcome.shed;
     rec.stale_tripwire = outcome.stale_tripwire;
     rec.deadline_missed = deadline_missed;
@@ -246,10 +250,16 @@ genbase::Result<WorkloadReport> WorkloadRunner::Run(
         obs::ScopedSpan span("execute");
         const double exec_start_s =
             span.active() ? obs::Tracer::Global().NowSeconds() : 0.0;
-        outcome.cell = core::RunCellWithContext(engine, op.query, spec_.size,
-                                                options, ctx);
+        const double exec_cpu_begin = obs::Profiler::CpuBegin();
+        {
+          obs::ScopedExecutePerf exec_perf;
+          outcome.cell = core::RunCellWithContext(engine, op.query,
+                                                  spec_.size, options, ctx);
+        }
         // Direct-to-engine: the whole cell is the execute stage.
         outcome.stages[obs::RequestStage::kExecute] = outcome.cell.total_s;
+        outcome.stages.Cpu(obs::RequestStage::kExecute) =
+            obs::Profiler::CpuDelta(exec_cpu_begin);
         if (span.active()) {
           // PhaseClock bridge: the cell's phase split as sequential child
           // spans (dm excludes glue, which PhaseClock nests inside it).
@@ -371,9 +381,24 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
               request_span.SetDetail(std::string(core::QueryName(op.query)) +
                                      "/v" + std::to_string(op.variant));
             }
+            // Allocation attribution: reserved-total is monotone, so the
+            // delta across the op counts reservation activity during its
+            // window even when everything was released again. Needs the
+            // tracker installed before the op — warm-up's first op through
+            // each engine guarantees that for measured ops.
+            MemoryTracker* alloc_tracker =
+                obs::Profiler::Enabled() ? state->ctx.memory() : nullptr;
+            const int64_t alloc_before =
+                alloc_tracker != nullptr ? alloc_tracker->reserved_total()
+                                         : 0;
             outcome =
                 exec(op, variant_options[static_cast<size_t>(op.variant)],
                      arrival, &state->ctx);
+            if (alloc_tracker != nullptr &&
+                state->ctx.memory() == alloc_tracker) {
+              outcome.alloc_delta_bytes =
+                  alloc_tracker->reserved_total() - alloc_before;
+            }
             outcome.queue_delay_s += dispatch_lag_s;
             // Dispatch lag is queueing the op's client really saw; fold it
             // into the queue stage so queue + flight == queue_delay holds.
@@ -390,6 +415,7 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
                                   : truths_.end();
               if (it != truths_.end()) {
                 obs::ScopedSpan verify_span("verify");
+                const double verify_cpu_begin = obs::Profiler::CpuBegin();
                 const auto verify_start = Clock::now();
                 mismatched =
                     !core::CompareQueryResults(it->second, cell.result).ok();
@@ -397,9 +423,23 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
                     std::chrono::duration<double>(Clock::now() -
                                                   verify_start)
                         .count();
+                outcome.stages.Cpu(obs::RequestStage::kVerify) =
+                    obs::Profiler::CpuDelta(verify_cpu_begin);
                 if (mismatched) verify_span.SetDetail("mismatch");
               }
             }
+          }
+          if (obs::Profiler::Enabled()) {
+            // Thread-CPU and wall clocks have different granularities; a
+            // sub-granule stage can read cpu > wall. Clamp per stage so the
+            // cpu/wall ratio is a fraction by construction.
+            for (int s = 0; s < obs::kNumRequestStages; ++s) {
+              outcome.stages.cpu[s] =
+                  std::min(outcome.stages.cpu[s], outcome.stages.s[s]);
+            }
+            // Periodic RSS samples (one small /proc read): enough points to
+            // chart memory growth without touching every op.
+            if ((i & 31) == 0) obs::SampleProcessRss();
           }
           if (record) {
             RecordOutcome(outcome, mismatched, op.query, state);
@@ -421,9 +461,17 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
 
   if (on_measure_start_) on_measure_start_();
 
+  // Execute-stage hardware counters over the measured phase only (the
+  // accumulator is process-global and monotone, so warm-up work subtracts
+  // out). RSS snapshot on both edges for the gauges.
+  const obs::ExecutePerfTotals perf_at_measure_start =
+      obs::ExecutePerfSnapshot();
+  if (obs::Profiler::Enabled()) obs::SampleProcessRss();
+
   WallTimer wall;
   run_phase(warmup_end, schedule.size(), /*record=*/true);
   const double wall_seconds = wall.Seconds();
+  if (obs::Profiler::Enabled()) obs::SampleProcessRss();
 
   // Tail-keep + drain: log kept requests (synthesizing spans for the ones
   // head sampling skipped), then pull every thread ring into the collector
@@ -441,6 +489,11 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
   report.seed = spec_.seed;
   report.kernel_backend = simd::BackendName(simd::ActiveBackend());
   report.wall_seconds = wall_seconds;
+  report.profiled = obs::Profiler::Enabled();
+  if (report.profiled) {
+    report.execute_perf =
+        obs::ExecutePerfSnapshot() - perf_at_measure_start;
+  }
   if (open_loop) report.offered_qps = spec_.arrival_rate_qps;
   if (stack != nullptr) {
     report.has_serving = true;

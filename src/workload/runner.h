@@ -66,6 +66,12 @@ class WorkloadRunner {
     /// verify stage, preserving queue + flight == queue_delay_s and
     /// Sum() == queue_delay_s + cell.total_s + verify.
     obs::StageSeconds stages;
+    /// MemoryTracker reservation activity (monotone reserved-total delta on
+    /// the op's ExecContext tracker) across the op; -1 when profiling is off
+    /// or no tracker was installed. Shared-tracker runs make this an
+    /// "allocation activity during the request window" measure, not an
+    /// exclusive attribution.
+    int64_t alloc_delta_bytes = -1;
     bool stale_tripwire = false;  ///< Served stale past the tripwire age.
   };
 

@@ -6,11 +6,14 @@
 
 #include "common/csv.h"
 #include "common/exec_context.h"
+#include "common/json.h"
+#include "common/logging.h"
 #include "common/memory_tracker.h"
 #include "common/rng.h"
 #include "common/spill.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace genbase {
 namespace {
@@ -334,6 +337,142 @@ TEST(SpillFileTest, DiscardRemovesBackingFile) {
   FILE* f = std::fopen(path.c_str(), "r");
   EXPECT_EQ(f, nullptr);
   if (f != nullptr) std::fclose(f);
+}
+
+// --- memory tracker gauges ---------------------------------------------------
+
+TEST(MemoryTrackerTest, ReservedTotalIsMonotone) {
+  MemoryTracker t(1000);
+  ASSERT_TRUE(t.Reserve(400).ok());
+  t.Release(400);
+  ASSERT_TRUE(t.Reserve(300).ok());
+  t.Release(300);
+  // used() is back to zero, but the monotone counter saw both reservations —
+  // this is what per-request alloc deltas are measured from.
+  EXPECT_EQ(t.used(), 0);
+  EXPECT_EQ(t.reserved_total(), 700);
+  // Failed reservations don't count as activity.
+  EXPECT_FALSE(t.Reserve(2000).ok());
+  EXPECT_EQ(t.reserved_total(), 700);
+}
+
+TEST(MemoryTrackerTest, LabelledTrackerExportsGauges) {
+  MemoryTracker t(4096, "gauge_probe");
+  ASSERT_TRUE(t.Reserve(1024).ok());
+  t.Release(256);
+  double used = -1, peak = -1, budget = -1;
+  for (const obs::MetricSample& s : obs::MetricsRegistry::Global().Snapshot()) {
+    bool ours = false;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "tracker" && v == "gauge_probe") ours = true;
+    }
+    if (!ours) continue;
+    if (s.name == "memory_tracker_used_bytes") used = s.value;
+    if (s.name == "memory_tracker_peak_bytes") peak = s.value;
+    if (s.name == "memory_tracker_budget_bytes") budget = s.value;
+  }
+  EXPECT_EQ(used, 768);
+  EXPECT_EQ(peak, 1024);
+  EXPECT_EQ(budget, 4096);
+}
+
+// --- log rate limiting and log-to-metrics bridge -----------------------------
+
+int64_t LevelCount(const char* name, const char* level) {
+  return obs::MetricsRegistry::Global()
+      .GetCounter(name, {{"level", level}})
+      ->Value();
+}
+
+TEST(LoggingTest, WarningsFeedLogMessagesTotal) {
+  const LogLevel saved = GlobalLogLevel();
+  SetGlobalLogLevel(LogLevel::kWarning);
+  const int64_t before = LevelCount("log_messages_total", "warning");
+  GENBASE_LOG(Warning) << "bridge probe";
+  EXPECT_EQ(LevelCount("log_messages_total", "warning"), before + 1);
+  // A message below the threshold is dropped before the bridge.
+  const int64_t info_before = LevelCount("log_messages_total", "info");
+  GENBASE_LOG(Info) << "dropped";
+  EXPECT_EQ(LevelCount("log_messages_total", "info"), info_before);
+  SetGlobalLogLevel(saved);
+}
+
+TEST(LoggingTest, LogEveryNEmitsFirstAndEveryNth) {
+  const LogLevel saved = GlobalLogLevel();
+  SetGlobalLogLevel(LogLevel::kWarning);
+  const int64_t emitted_before = LevelCount("log_messages_total", "warning");
+  const int64_t supp_before =
+      LevelCount("log_messages_suppressed_total", "warning");
+  for (int i = 0; i < 10; ++i) {
+    GENBASE_LOG_EVERY_N(Warning, 4) << "rate-limited probe " << i;
+  }
+  // Occurrences 0, 4 and 8 emit; the other seven are suppressed-but-counted.
+  EXPECT_EQ(LevelCount("log_messages_total", "warning"), emitted_before + 3);
+  EXPECT_EQ(LevelCount("log_messages_suppressed_total", "warning"),
+            supp_before + 7);
+  SetGlobalLogLevel(saved);
+}
+
+TEST(LoggingTest, LogEveryNBelowThresholdNeverTicks) {
+  const LogLevel saved = GlobalLogLevel();
+  SetGlobalLogLevel(LogLevel::kError);
+  const int64_t supp_before =
+      LevelCount("log_messages_suppressed_total", "warning");
+  for (int i = 0; i < 5; ++i) {
+    GENBASE_LOG_EVERY_N(Warning, 2) << "should not tick";
+  }
+  EXPECT_EQ(LevelCount("log_messages_suppressed_total", "warning"),
+            supp_before);
+  SetGlobalLogLevel(saved);
+}
+
+// --- json parser -------------------------------------------------------------
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto result = json::Parse(
+      "{\"a\":1.5,\"b\":[1,2,{\"c\":\"x\"}],\"d\":{\"e\":null,"
+      "\"f\":true},\"neg\":-2e3}");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const json::Value doc = std::move(result).ValueOrDie();
+  EXPECT_EQ(doc.NumberOr("a", 0), 1.5);
+  EXPECT_EQ(doc.NumberOr("neg", 0), -2000.0);
+  const json::Value* b = doc.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_EQ(b->array[2].StringOr("c", ""), "x");
+  const json::Value* d = doc.Find("d");
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(d->Find("e"), nullptr);
+  EXPECT_TRUE(d->Find("e")->is_null());
+  EXPECT_TRUE(d->Find("f")->boolean);
+}
+
+TEST(JsonTest, DecodesStringEscapes) {
+  auto result = json::Parse("{\"s\":\"a\\n\\\"b\\\"\\u0041\"}");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::move(result).ValueOrDie().StringOr("s", ""), "a\n\"b\"A");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(json::Parse("").ok());
+  EXPECT_FALSE(json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(json::Parse("[1,2] trailing").ok());
+  EXPECT_FALSE(json::Parse("{'a':1}").ok());
+  // Errors carry a byte offset for artifact debugging.
+  auto bad = json::Parse("{\"a\":!}");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("offset"), std::string::npos);
+}
+
+TEST(JsonTest, LookupFallbacksOnWrongTypes) {
+  auto result = json::Parse("{\"n\":\"not-a-number\",\"s\":42}");
+  ASSERT_TRUE(result.ok());
+  const json::Value doc = std::move(result).ValueOrDie();
+  EXPECT_EQ(doc.NumberOr("n", -1), -1);
+  EXPECT_EQ(doc.StringOr("s", "fallback"), "fallback");
+  EXPECT_EQ(doc.NumberOr("missing", 7), 7);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -271,6 +272,174 @@ TEST(TraceExportTest, SlowQueryJsonlOneLinePerRecord) {
   EXPECT_NE(jsonl.find("\"execute\":0.040000"), std::string::npos);
   EXPECT_NE(jsonl.find("\"shed\":true"), std::string::npos);
   EXPECT_NE(jsonl.find("\"slowest\":false"), std::string::npos);
+}
+
+// --- exporter round-trips ----------------------------------------------------
+// The emitted artifacts are parsed back with the in-repo JSON parser: shape
+// regressions (a missing comma, an unquoted value) fail here instead of in
+// a downstream trace viewer.
+
+TEST(TraceExportRoundTripTest, ChromeTraceParsesWithContainment) {
+  Tracer& tracer = Tracer::Global();
+  tracer.TakeCollected();
+  constexpr uint64_t kTrace = 0x0cabULL;
+  {
+    ScopedTrace trace(kTrace, /*sampled=*/true);
+    ScopedSpan request("request");
+    {
+      ScopedSpan execute("execute");
+      volatile double sink = 0;
+      for (int i = 0; i < 10000; ++i) sink += i;
+    }
+  }
+  std::vector<Span> spans;
+  for (const Span& s : tracer.TakeCollected()) {
+    if (s.trace_id == kTrace) spans.push_back(s);
+  }
+  ASSERT_EQ(spans.size(), 2u);
+
+  const std::string stamp =
+      "{\"git_sha\":\"abc\",\"kernel_backend\":\"simd\","
+      "\"timestamp\":\"2026-08-08T00:00:00Z\"}";
+  auto parsed = json::Parse(ChromeTraceJson(spans, stamp));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value doc = std::move(parsed).ValueOrDie();
+  const json::Value* metadata = doc.Find("metadata");
+  ASSERT_NE(metadata, nullptr);
+  EXPECT_EQ(metadata->StringOr("git_sha", ""), "abc");
+  const json::Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+
+  // Locate request/execute by name; check ts monotonicity and containment:
+  // the child must start at or after its parent and end within it.
+  const json::Value* request = nullptr;
+  const json::Value* execute = nullptr;
+  for (const json::Value& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_EQ(e.StringOr("ph", ""), "X");
+    EXPECT_GE(e.NumberOr("ts", -1), 0.0);
+    EXPECT_GE(e.NumberOr("dur", -1), 0.0);
+    const std::string name = e.StringOr("name", "");
+    if (name == "request") request = &e;
+    if (name == "execute") execute = &e;
+  }
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(execute, nullptr);
+  const double req_ts = request->NumberOr("ts", 0);
+  const double req_end = req_ts + request->NumberOr("dur", 0);
+  const double exec_ts = execute->NumberOr("ts", 0);
+  const double exec_end = exec_ts + execute->NumberOr("dur", 0);
+  constexpr double kSlackUs = 1.0;  // Double round-trip through the text.
+  EXPECT_GE(exec_ts, req_ts - kSlackUs);
+  EXPECT_LE(exec_end, req_end + kSlackUs);
+}
+
+TEST(TraceExportRoundTripTest, SlowQueryJsonlParsesPerLine) {
+  SlowQueryRecord with_cpu;
+  with_cpu.trace_id = 7;
+  with_cpu.workload = "serving-mix";
+  with_cpu.query = "regression";
+  with_cpu.latency_s = 0.050;
+  with_cpu.stages[RequestStage::kQueue] = 0.010;
+  with_cpu.stages[RequestStage::kExecute] = 0.030;
+  with_cpu.stages.Cpu(RequestStage::kExecute) = 0.025;
+  with_cpu.alloc_delta_bytes = 4096;
+  with_cpu.deadline_missed = true;
+
+  SlowQueryRecord without_cpu;
+  without_cpu.trace_id = 8;
+  without_cpu.workload = "serving-mix";
+  without_cpu.query = "svd";
+  without_cpu.stages[RequestStage::kExecute] = 0.020;
+  without_cpu.slowest = true;  // alloc_delta_bytes stays -1 (unknown).
+
+  const std::string jsonl = SlowQueryJsonl({with_cpu, without_cpu});
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t i = 0; i < jsonl.size(); ++i) {
+    if (jsonl[i] == '\n') {
+      lines.push_back(jsonl.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  ASSERT_EQ(lines.size(), 2u);
+
+  auto first = json::Parse(lines[0]);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const json::Value rec = std::move(first).ValueOrDie();
+  const json::Value* stages = rec.Find("stages_s");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_NEAR(stages->NumberOr("execute", 0), 0.030, 1e-9);
+  const json::Value* cpu = rec.Find("stages_cpu_s");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_NEAR(cpu->NumberOr("execute", 0), 0.025, 1e-9);
+  const json::Value* alloc = rec.Find("alloc_delta_bytes");
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_TRUE(alloc->is_number());
+  EXPECT_EQ(alloc->number, 4096.0);
+
+  auto second = json::Parse(lines[1]);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  const json::Value rec2 = std::move(second).ValueOrDie();
+  // No CPU attribution recorded -> the object is absent entirely, and the
+  // unknown alloc delta round-trips as null, not -1.
+  EXPECT_EQ(rec2.Find("stages_cpu_s"), nullptr);
+  const json::Value* alloc2 = rec2.Find("alloc_delta_bytes");
+  ASSERT_NE(alloc2, nullptr);
+  EXPECT_TRUE(alloc2->is_null());
+}
+
+// --- folded stacks -----------------------------------------------------------
+
+Span MakeSpan(uint64_t span_id, uint64_t parent_id, const char* name,
+              double start_s, double dur_s) {
+  Span s;
+  s.trace_id = 0x1;
+  s.span_id = span_id;
+  s.parent_id = parent_id;
+  s.name = name;
+  s.start_s = start_s;
+  s.dur_s = dur_s;
+  return s;
+}
+
+TEST(FoldedStacksTest, SelfTimeExcludesChildren) {
+  const std::vector<Span> spans = {
+      MakeSpan(1, 0, "request", 0.0, 0.001000),
+      MakeSpan(2, 1, "execute", 0.0002, 0.000600),
+      MakeSpan(3, 2, "analytics", 0.0003, 0.000400),
+  };
+  const std::string folded = FoldedStacks(spans);
+  EXPECT_NE(folded.find("request 400\n"), std::string::npos);
+  EXPECT_NE(folded.find("request;execute 200\n"), std::string::npos);
+  EXPECT_NE(folded.find("request;execute;analytics 400\n"),
+            std::string::npos);
+  // Self times reconstruct the root total exactly: 400+200+400 = 1000us.
+}
+
+TEST(FoldedStacksTest, MissingParentStartsNewRoot) {
+  const std::vector<Span> spans = {
+      MakeSpan(9, 77, "orphan", 0.0, 0.000100),
+  };
+  const std::string folded = FoldedStacks(spans);
+  EXPECT_EQ(folded, "orphan 100\n");
+}
+
+TEST(FoldedStacksTest, ZeroSelfTimeOmitted) {
+  // The parent is fully covered by its child: zero self time, no line.
+  const std::vector<Span> spans = {
+      MakeSpan(1, 0, "wrapper", 0.0, 0.000500),
+      MakeSpan(2, 1, "work", 0.0, 0.000500),
+  };
+  const std::string folded = FoldedStacks(spans);
+  EXPECT_EQ(folded.find("wrapper "), std::string::npos);
+  EXPECT_NE(folded.find("wrapper;work 500\n"), std::string::npos);
+}
+
+TEST(FoldedStacksTest, EmptyInputEmptyOutput) {
+  EXPECT_EQ(FoldedStacks({}), "");
 }
 
 }  // namespace

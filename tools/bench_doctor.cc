@@ -1,0 +1,71 @@
+// bench_doctor: bench-history regression gate.
+//
+// Ingests a directory of stamped BENCH_*.json artifacts, orders them by
+// stamp timestamp, and judges the newest run against a median-of-window
+// baseline built from the preceding runs (see src/obs/doctor.h).
+//
+//   bench_doctor [--check] [--window=N] [--throughput-slack=F]
+//                [--latency-slack=F] HISTORY_DIR
+//
+// Always prints the trend table. With --check the exit code becomes the
+// gate: 1 on any regression (or unreadable history), 0 otherwise; without
+// it the tool is informational and always exits 0 once the directory loads.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/doctor.h"
+
+namespace {
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atof(arg + len + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  genbase::obs::doctor::DoctorOptions options;
+  bool check = false;
+  std::string dir;
+  double window = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      check = true;
+    } else if (ParseDoubleFlag(arg, "--throughput-slack",
+                               &options.throughput_slack) ||
+               ParseDoubleFlag(arg, "--latency-slack",
+                               &options.latency_slack)) {
+    } else if (ParseDoubleFlag(arg, "--window", &window)) {
+      options.baseline_window = static_cast<int>(window);
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    } else {
+      dir = arg;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_doctor [--check] [--window=N] "
+                 "[--throughput-slack=F] [--latency-slack=F] HISTORY_DIR\n");
+    return 2;
+  }
+
+  auto result = genbase::obs::doctor::CheckHistoryDir(dir, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_doctor: %s\n",
+                 result.status().ToString().c_str());
+    return check ? 1 : 0;
+  }
+  const genbase::obs::doctor::DoctorReport report =
+      std::move(result).ValueOrDie();
+  std::fputs(genbase::obs::doctor::FormatReport(report).c_str(), stdout);
+  return check && !report.ok() ? 1 : 0;
+}
