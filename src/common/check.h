@@ -11,7 +11,8 @@
     if (!(cond)) {                                                          \
       std::fprintf(stderr, "GENBASE_CHECK failed at %s:%d: %s\n", __FILE__, \
                    __LINE__, #cond);                                        \
-      std::abort();                                                         \
+      /* lint:allow(no-bare-assert): the sanctioned abort - all other */    \
+      std::abort(); /* call sites must route through this macro */          \
     }                                                                       \
   } while (0)
 
@@ -21,6 +22,7 @@
     if (!_st.ok()) {                                                         \
       std::fprintf(stderr, "GENBASE_CHECK_OK failed at %s:%d: %s\n",         \
                    __FILE__, __LINE__, _st.ToString().c_str());              \
+      /* lint:allow(no-bare-assert): the sanctioned abort (see above) */     \
       std::abort();                                                          \
     }                                                                        \
   } while (0)

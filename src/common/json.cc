@@ -1,6 +1,7 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 namespace genbase::json {
@@ -227,6 +228,9 @@ class Parser {
     const std::string token = s_.substr(start, pos_ - start);
     const double v = std::strtod(token.c_str(), &end);
     if (end == token.c_str() || *end != '\0') return Error("bad number");
+    // strtod maps out-of-range literals like 1e999 to +/-inf; downstream
+    // arithmetic assumes finite config values, so reject them here.
+    if (!std::isfinite(v)) return Error("number out of range");
     out->type = Value::Type::kNumber;
     out->number = v;
     return genbase::Status::OK();

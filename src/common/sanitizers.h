@@ -1,0 +1,25 @@
+#ifndef GENBASE_COMMON_SANITIZERS_H_
+#define GENBASE_COMMON_SANITIZERS_H_
+
+/// Compile-time sanitizer detection (GCC defines __SANITIZE_*__; clang
+/// exposes __has_feature). Perf-ratio gates consult this: sanitizer
+/// instrumentation multiplies the cost of the instrumented side of an
+/// A/B throughput comparison, so those gates measure the sanitizer, not
+/// the product. Correctness gates must NOT consult it.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GENBASE_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define GENBASE_UNDER_SANITIZER 1
+#endif
+#endif
+
+#ifndef GENBASE_UNDER_SANITIZER
+#define GENBASE_UNDER_SANITIZER 0
+#endif
+
+namespace genbase {
+inline constexpr bool kUnderSanitizer = GENBASE_UNDER_SANITIZER != 0;
+}  // namespace genbase
+
+#endif  // GENBASE_COMMON_SANITIZERS_H_

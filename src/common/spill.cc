@@ -18,6 +18,7 @@ const std::string& DefaultSpillDir() {
   static const std::string* dir = [] {
     std::string d = "/tmp/genbase_spill";
     ::mkdir(d.c_str(), 0755);
+    // lint:allow(raw-new-delete): leaked function-local singleton, avoids a static-destruction-order race with spill files closed at teardown
     return new std::string(d);
   }();
   return *dir;
@@ -49,7 +50,8 @@ Result<SpillFile> SpillFile::Create(const std::string& dir) {
   SpillFile f;
   const std::string base = dir.empty() ? DefaultSpillDir() : dir;
   f.path_ = base + "/spill_" + std::to_string(::getpid()) + "_" +
-            std::to_string(g_spill_counter.fetch_add(1));
+            std::to_string(
+                g_spill_counter.fetch_add(1, std::memory_order_relaxed));
   f.fd_ = ::open(f.path_.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
   if (f.fd_ < 0) {
     return Status::IOError("cannot create spill file " + f.path_ + ": " +

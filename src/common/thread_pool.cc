@@ -102,6 +102,7 @@ void ThreadPool::ParallelFor(
 }
 
 ThreadPool* DefaultPool() {
+  // lint:allow(raw-new-delete): leaked process singleton so worker threads never race static destruction at exit
   static ThreadPool* pool = new ThreadPool(
       std::max(1u, std::thread::hardware_concurrency()));
   return pool;

@@ -18,10 +18,13 @@ const double kLogGrowth = std::log(kGrowth);
 
 int BucketFor(double seconds) {
   if (!(seconds > kMinTracked)) return 0;
-  const int b = static_cast<int>(
-                    std::floor(std::log(seconds / kMinTracked) / kLogGrowth)) +
-                1;
-  return std::min(b, kNumBuckets - 1);
+  // Clamp while still a double: float→int conversion of an out-of-range
+  // value (inf, or anything past INT_MAX) is UB, so the comparison must
+  // happen before the cast. The negated form also routes NaN to the cap.
+  const double b =
+      std::floor(std::log(seconds / kMinTracked) / kLogGrowth) + 1.0;
+  if (!(b < kNumBuckets - 1)) return kNumBuckets - 1;
+  return std::max(1, static_cast<int>(b));
 }
 
 double BucketValue(int bucket) {
@@ -134,6 +137,7 @@ std::string MetricKey(const std::string& name, const Labels& labels) {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // lint:allow(raw-new-delete): leaked process singleton — instrument pointers are handed out for the process lifetime
   static auto* registry = new MetricsRegistry();
   return *registry;
 }
@@ -178,6 +182,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
     // a private instrument (never exported) instead of corrupting the
     // registered one. This is a programming error surfaced by the missing
     // series, not a crash.
+    // lint:allow(raw-new-delete): deliberately leaked never-exported fallback for kind clashes
     static auto* orphan = new Counter();
     return orphan;
   }
@@ -188,6 +193,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const Labels& labels) {
   Instrument* inst = GetOrCreate(name, labels, MetricSample::Kind::kGauge);
   if (inst->gauge == nullptr) {
+    // lint:allow(raw-new-delete): deliberately leaked never-exported fallback for kind clashes
     static auto* orphan = new Gauge();
     return orphan;
   }
@@ -199,6 +205,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   Instrument* inst =
       GetOrCreate(name, labels, MetricSample::Kind::kHistogram);
   if (inst->histogram == nullptr) {
+    // lint:allow(raw-new-delete): deliberately leaked never-exported fallback for kind clashes
     static auto* orphan = new Histogram();
     return orphan;
   }

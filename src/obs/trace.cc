@@ -78,6 +78,7 @@ Tracer::Tracer()
 }
 
 Tracer& Tracer::Global() {
+  // lint:allow(raw-new-delete): leaked process singleton — TLS ring destructors run after main() and must find it alive
   static auto* tracer = new Tracer();
   return *tracer;
 }

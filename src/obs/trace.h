@@ -88,7 +88,9 @@ struct Span {
   void SetDetail(std::string_view d) {
     const size_t n = d.size() < sizeof(detail) - 1 ? d.size()
                                                    : sizeof(detail) - 1;
-    std::memcpy(detail, d.data(), n);
+    // A default string_view has a null data(); memcpy forbids null even
+    // with a zero count.
+    if (n > 0) std::memcpy(detail, d.data(), n);
     detail[n] = '\0';
   }
 };

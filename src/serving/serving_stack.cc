@@ -62,6 +62,7 @@ genbase::Result<std::unique_ptr<ServingStack>> ServingStack::Create(
   GENBASE_ASSIGN_OR_RETURN(std::unique_ptr<ShardRouter> router,
                            ShardRouter::Create(options.shards, factory, data));
   return std::unique_ptr<ServingStack>(
+      // lint:allow(raw-new-delete): make_unique cannot reach the private ctor; owned immediately
       new ServingStack(options, std::move(router)));
 }
 

@@ -11,6 +11,7 @@ genbase::Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
     return genbase::Status::InvalidArgument(
         "shard router: shard count must be >= 1");
   }
+  // lint:allow(raw-new-delete): make_unique cannot reach the private ctor; owned immediately
   auto router = std::unique_ptr<ShardRouter>(new ShardRouter());
   router->shards_.reserve(static_cast<size_t>(shards));
   auto& reg = obs::MetricsRegistry::Global();

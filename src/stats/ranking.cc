@@ -1,6 +1,7 @@
 #include "stats/ranking.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace genbase::stats {
@@ -9,8 +10,17 @@ RankedValues RankWithTies(const std::vector<double>& values) {
   const int64_t n = static_cast<int64_t>(values.size());
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
+  // `<` alone is not a strict weak ordering when NaN is present, and
+  // std::sort on an inconsistent comparator can read out of bounds. Sort
+  // NaNs after every finite value, ordered among themselves by index.
   std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-    return values[a] < values[b];
+    const double va = values[a];
+    const double vb = values[b];
+    const bool na = std::isnan(va);
+    const bool nb = std::isnan(vb);
+    if (na != nb) return nb;
+    if (na) return a < b;
+    return va < vb;
   });
   RankedValues out;
   out.ranks.assign(static_cast<size_t>(n), 0.0);

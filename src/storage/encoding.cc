@@ -61,8 +61,10 @@ genbase::Result<EncodedBlock> EncodeInt64(const int64_t* values,
   switch (encoding) {
     case ColumnEncoding::kPlain: {
       block.payload.resize(static_cast<size_t>(count) * 8);
-      std::memcpy(block.payload.data(), values,
-                  static_cast<size_t>(count) * 8);
+      if (count > 0) {
+        std::memcpy(block.payload.data(), values,
+                    static_cast<size_t>(count) * 8);
+      }
       return block;
     }
     case ColumnEncoding::kRunLength: {
@@ -77,10 +79,13 @@ genbase::Result<EncodedBlock> EncodeInt64(const int64_t* values,
       return block;
     }
     case ColumnEncoding::kDelta: {
-      int64_t prev = 0;
+      // Deltas wrap modulo 2^64 (matched by the decoder): extreme-magnitude
+      // neighbours would overflow a signed subtraction.
+      uint64_t prev = 0;
       for (int64_t i = 0; i < count; ++i) {
-        PutVarint(&block.payload, ZigZag(values[i] - prev));
-        prev = values[i];
+        const uint64_t cur = static_cast<uint64_t>(values[i]);
+        PutVarint(&block.payload, ZigZag(static_cast<int64_t>(cur - prev)));
+        prev = cur;
       }
       return block;
     }
@@ -114,7 +119,10 @@ genbase::Status DecodeInt64(const EncodedBlock& block,
         return genbase::Status::IOError("plain block size mismatch");
       }
       out->resize(static_cast<size_t>(block.num_values));
-      std::memcpy(out->data(), block.payload.data(), block.payload.size());
+      if (!block.payload.empty()) {
+        std::memcpy(out->data(), block.payload.data(),
+                    block.payload.size());
+      }
       return genbase::Status::OK();
     }
     case ColumnEncoding::kRunLength: {
@@ -133,12 +141,12 @@ genbase::Status DecodeInt64(const EncodedBlock& block,
     }
     case ColumnEncoding::kDelta: {
       size_t pos = 0;
-      int64_t prev = 0;
+      uint64_t prev = 0;
       for (int64_t i = 0; i < block.num_values; ++i) {
         uint64_t zz = 0;
         GENBASE_RETURN_NOT_OK(GetVarint(block.payload, &pos, &zz));
-        prev += UnZigZag(zz);
-        out->push_back(prev);
+        prev += static_cast<uint64_t>(UnZigZag(zz));
+        out->push_back(static_cast<int64_t>(prev));
       }
       return genbase::Status::OK();
     }

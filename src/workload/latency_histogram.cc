@@ -18,11 +18,13 @@ LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
 
 int LatencyHistogram::BucketFor(double seconds) const {
   if (!(seconds > kMinTracked)) return 0;
-  const int b =
-      static_cast<int>(std::floor(std::log(seconds / kMinTracked) /
-                                  kLogGrowth)) +
-      1;
-  return std::min(b, kNumBuckets - 1);
+  // Clamp while still a double: float→int conversion of an out-of-range
+  // value (inf, or anything past INT_MAX) is UB, so the comparison must
+  // happen before the cast. The negated form also routes NaN to the cap.
+  const double b =
+      std::floor(std::log(seconds / kMinTracked) / kLogGrowth) + 1.0;
+  if (!(b < kNumBuckets - 1)) return kNumBuckets - 1;
+  return std::max(1, static_cast<int>(b));
 }
 
 double LatencyHistogram::BucketValue(int bucket) const {

@@ -1,0 +1,137 @@
+// Adversarial-input coverage for the JSON parser: the parser ingests
+// artifacts written by past runs (bench history, profiles), which makes
+// truncated/corrupt bytes an expected input class, not a programming error.
+// Every case here must come back as a clean Status — never a crash, hang,
+// or sanitizer report.
+
+#include <cmath>
+#include <string>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace genbase::json {
+namespace {
+
+std::string NestedArrays(int depth) {
+  std::string s;
+  s.reserve(static_cast<size_t>(depth) * 2 + 1);
+  for (int i = 0; i < depth; ++i) s.push_back('[');
+  s.push_back('1');
+  for (int i = 0; i < depth; ++i) s.push_back(']');
+  return s;
+}
+
+std::string NestedObjects(int depth) {
+  std::string s;
+  for (int i = 0; i < depth; ++i) s.append("{\"k\":");
+  s.push_back('1');
+  for (int i = 0; i < depth; ++i) s.push_back('}');
+  return s;
+}
+
+TEST(JsonDepthTest, DeepButLegalNestingParses) {
+  EXPECT_TRUE(Parse(NestedArrays(60)).ok());
+  EXPECT_TRUE(Parse(NestedObjects(60)).ok());
+}
+
+TEST(JsonDepthTest, ExcessiveNestingIsRejectedNotStackOverflow) {
+  // Way past the limit: a recursion-per-byte parser without a depth guard
+  // would blow the stack here (ASan turns that into a hard failure).
+  EXPECT_FALSE(Parse(NestedArrays(100000)).ok());
+  EXPECT_FALSE(Parse(NestedObjects(100000)).ok());
+}
+
+TEST(JsonStringTest, TruncatedEscapesAreErrors) {
+  EXPECT_FALSE(Parse("\"abc").ok());
+  EXPECT_FALSE(Parse("\"abc\\").ok());
+  EXPECT_FALSE(Parse("\"abc\\u").ok());
+  EXPECT_FALSE(Parse("\"abc\\u12").ok());
+  EXPECT_FALSE(Parse("\"abc\\u12G4\"").ok());
+  EXPECT_FALSE(Parse("\"abc\\q\"").ok());
+}
+
+TEST(JsonStringTest, UnicodeEscapesDecodeToUtf8) {
+  auto r = Parse("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::move(r).ValueOrDie().string, "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonNumberTest, HugeNumbersAreRejectedNotInf) {
+  EXPECT_FALSE(Parse("1e999").ok());
+  EXPECT_FALSE(Parse("-1e999").ok());
+  EXPECT_FALSE(Parse("[1, 2, 1e999]").ok());
+}
+
+TEST(JsonNumberTest, ExtremeFiniteNumbersParse) {
+  auto r = Parse("1.7976931348623157e308");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::isfinite(std::move(r).ValueOrDie().number));
+  // Subnormal underflow is finite (rounds toward zero), not an error.
+  EXPECT_TRUE(Parse("1e-999").ok());
+}
+
+TEST(JsonNumberTest, MalformedNumbersAreErrors) {
+  EXPECT_FALSE(Parse("-").ok());
+  EXPECT_FALSE(Parse("1.2.3").ok());
+  EXPECT_FALSE(Parse("1e").ok());
+  EXPECT_FALSE(Parse("+-1").ok());
+  EXPECT_FALSE(Parse("nan").ok());
+  EXPECT_FALSE(Parse("inf").ok());
+}
+
+TEST(JsonFuzzTest, EveryTruncationOfAValidDocumentFailsCleanly) {
+  const std::string doc =
+      "{\"runs\":[{\"name\":\"fig6\",\"p99_s\":0.0123,\"tags\":[\"a\",\"b\"],"
+      "\"note\":\"q\\u0041\\n\",\"ok\":true,\"skip\":null}],\"n\":-42.5e-1}";
+  ASSERT_TRUE(Parse(doc).ok());
+  for (size_t cut = 0; cut < doc.size(); ++cut) {
+    EXPECT_FALSE(Parse(doc.substr(0, cut)).ok()) << "prefix length " << cut;
+  }
+}
+
+TEST(JsonFuzzTest, SeededRandomMutationsNeverCrash) {
+  const std::string doc =
+      "{\"a\":[1,2.5,\"s\",{\"b\":null,\"c\":[true,false]}],\"d\":\"\\u00e9\"}";
+  uint64_t state = SeedFromTag("json-fuzz", 7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mutated = doc;
+    const int edits = 1 + static_cast<int>(SplitMix64(state++) % 4);
+    for (int e = 0; e < edits; ++e) {
+      const uint64_t r = SplitMix64(state++);
+      const size_t at = r % mutated.size();
+      switch ((r >> 32) % 3) {
+        case 0:  // flip a byte
+          mutated[at] = static_cast<char>(r >> 16);
+          break;
+        case 1:  // delete a byte
+          mutated.erase(at, 1);
+          break;
+        default:  // insert a structural byte
+          mutated.insert(at, 1, "{}[]\",:\\"[(r >> 16) % 8]);
+          break;
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    // Parse must terminate with either outcome; a crash or sanitizer
+    // report is the only failure mode this test polices.
+    (void)Parse(mutated).ok();
+  }
+}
+
+TEST(JsonFuzzTest, SeededRandomGarbageNeverCrashes) {
+  uint64_t state = SeedFromTag("json-garbage", 11);
+  for (int iter = 0; iter < 500; ++iter) {
+    const size_t len = SplitMix64(state++) % 64;
+    std::string garbage;
+    garbage.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(SplitMix64(state++)));
+    }
+    (void)Parse(garbage).ok();
+  }
+}
+
+}  // namespace
+}  // namespace genbase::json

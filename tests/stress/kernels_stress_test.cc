@@ -1,0 +1,170 @@
+// Race-hunting stress for the threaded SIMD kernel layer (linalg/blas.h).
+//
+// PR 4's determinism guarantee — Gemm/Syrk produce bitwise-identical
+// results for any pool width — is verified sequentially by
+// simd_kernels_test. This suite verifies the concurrent half of the
+// contract, which is what the serving stack actually exercises: many
+// threads running threaded kernels at once, over shared read-only inputs,
+// each through its own pool AND all through one shared pool. TSan checks
+// the pool's task hand-off and the packing buffers; the bitwise comparison
+// checks that no scratch state is shared across concurrent invocations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "linalg/blas.h"
+#include "linalg/matrix.h"
+#include "tests/stress/stress_util.h"
+
+namespace genbase::linalg {
+namespace {
+
+using stress::Hammer;
+using stress::NextRand;
+
+Matrix SeededMatrix(int rows, int cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  uint64_t rng = seed;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Uniform in [-1, 1), exactly representable steps.
+      m(r, c) = static_cast<double>(NextRand(&rng) % 4096) / 2048.0 - 1.0;
+    }
+  }
+  return m;
+}
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(double) * static_cast<size_t>(a.rows()) *
+                         static_cast<size_t>(a.cols())) == 0;
+}
+
+// Sized to cross the kernel's packing-block boundaries (kMc=128, kKc=256)
+// so the threaded row-block path and the packed panels are really used,
+// while staying small enough for TSan's 5-20x slowdown.
+constexpr int kM = 160, kK = 96, kN = 64;
+
+TEST(KernelsStressTest, ConcurrentGemmPrivatePoolsBitwiseStable) {
+  const Matrix a = SeededMatrix(kM, kK, 0x5eed0001);
+  const Matrix b = SeededMatrix(kK, kN, 0x5eed0002);
+  Matrix reference(kM, kN);
+  {
+    ThreadPool single(1);
+    ASSERT_TRUE(Gemm(MatrixView(a), MatrixView(b), &reference, &single).ok());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kReps = 6;
+  std::atomic<int> mismatches{0};
+  Hammer(kThreads, [&](int t) {
+    ThreadPool pool(t + 1);  // Widths 1..4 concurrently.
+    for (int rep = 0; rep < kReps; ++rep) {
+      Matrix c(kM, kN);
+      ASSERT_TRUE(Gemm(MatrixView(a), MatrixView(b), &c, &pool).ok());
+      if (!BitwiseEqual(c, reference)) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(KernelsStressTest, ConcurrentSyrkSharedPoolBitwiseStable) {
+  const Matrix a = SeededMatrix(kM, kK, 0x5eed0003);
+  Matrix reference(kK, kK);
+  {
+    ThreadPool single(1);
+    ASSERT_TRUE(Syrk(MatrixView(a), &reference, &single).ok());
+  }
+
+  // One pool shared by every caller: ParallelFor batches from concurrent
+  // invocations interleave in the task queue — the shape the sharded
+  // serving stack produces when multiple shards execute at once.
+  ThreadPool shared(3);
+  constexpr int kThreads = 4;
+  constexpr int kReps = 6;
+  std::atomic<int> mismatches{0};
+  Hammer(kThreads, [&](int) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      Matrix c(kK, kK);
+      ASSERT_TRUE(Syrk(MatrixView(a), &c, &shared).ok());
+      if (!BitwiseEqual(c, reference)) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(KernelsStressTest, MixedKernelsOneSharedPoolStayIndependent) {
+  // Gemm, SyrkCentered and Gemv callers interleaved on one pool: catches
+  // any shared mutable packing scratch between *different* kernels, which
+  // per-kernel tests cannot see.
+  const Matrix a = SeededMatrix(kM, kK, 0x5eed0004);
+  const Matrix b = SeededMatrix(kK, kN, 0x5eed0005);
+  std::vector<double> means(static_cast<size_t>(kK));
+  for (int c = 0; c < kK; ++c) {
+    double s = 0;
+    for (int r = 0; r < kM; ++r) s += a(r, c);
+    means[static_cast<size_t>(c)] = s / kM;
+  }
+  std::vector<double> x(static_cast<size_t>(kK), 0.5);
+
+  Matrix gemm_ref(kM, kN);
+  Matrix syrk_ref(kK, kK);
+  std::vector<double> gemv_ref(static_cast<size_t>(kM));
+  {
+    ThreadPool single(1);
+    ASSERT_TRUE(Gemm(MatrixView(a), MatrixView(b), &gemm_ref, &single).ok());
+    ASSERT_TRUE(
+        SyrkCentered(MatrixView(a), means.data(), &syrk_ref, &single).ok());
+    Gemv(MatrixView(a), x.data(), gemv_ref.data(), &single);
+  }
+
+  ThreadPool shared(3);
+  constexpr int kThreads = 6;
+  constexpr int kReps = 4;
+  std::atomic<int> mismatches{0};
+  Hammer(kThreads, [&](int t) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      switch (t % 3) {
+        case 0: {
+          Matrix c(kM, kN);
+          ASSERT_TRUE(Gemm(MatrixView(a), MatrixView(b), &c, &shared).ok());
+          if (!BitwiseEqual(c, gemm_ref)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        case 1: {
+          Matrix c(kK, kK);
+          ASSERT_TRUE(
+              SyrkCentered(MatrixView(a), means.data(), &c, &shared).ok());
+          if (!BitwiseEqual(c, syrk_ref)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        default: {
+          std::vector<double> y(static_cast<size_t>(kM));
+          Gemv(MatrixView(a), x.data(), y.data(), &shared);
+          if (std::memcmp(y.data(), gemv_ref.data(),
+                          sizeof(double) * y.size()) != 0) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace genbase::linalg

@@ -1,0 +1,66 @@
+#ifndef GENBASE_TESTS_STRESS_STRESS_UTIL_H_
+#define GENBASE_TESTS_STRESS_STRESS_UTIL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace genbase::stress {
+
+/// \brief Start gate: every hammer thread parks here until the last one
+/// arrives, then all release together. Starting the contenders as one wave
+/// is what actually produces contention — without it, thread-creation skew
+/// serializes short tests and the sanitizer sees no interesting schedules.
+class StartGate {
+ public:
+  explicit StartGate(int parties) : waiting_for_(parties) {}
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--waiting_for_ == 0) {
+      open_ = true;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int waiting_for_;
+  bool open_ = false;
+};
+
+/// Runs `fn(thread_index)` on `threads` threads released simultaneously
+/// through a StartGate, and joins them all. The suite's tests are seeded and
+/// fixed-size: the *outcomes* asserted are deterministic even though the
+/// interleavings (deliberately) are not.
+inline void Hammer(int threads, const std::function<void(int)>& fn) {
+  StartGate gate(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      gate.ArriveAndWait();
+      fn(t);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+/// SplitMix64 step — the suite's only RNG. Deterministic per (seed, call
+/// sequence), no shared state between threads.
+inline uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace genbase::stress
+
+#endif  // GENBASE_TESTS_STRESS_STRESS_UTIL_H_
