@@ -114,6 +114,8 @@ struct SlowQueryRecord {
   bool stale_tripwire = false;
   bool deadline_missed = false;
   bool verify_failed = false;
+  int retries = 0;       ///< Extra execute attempts (fault-tolerance path).
+  bool hedged = false;   ///< A duplicate (hedged) attempt was issued.
   bool slowest = false;  ///< Kept because it was in the slowest-N set.
 };
 

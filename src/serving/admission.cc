@@ -61,6 +61,8 @@ AdmissionController::AdmissionController(AdmissionOptions options)
       reg.GetCounter("serving_admission_shed_queue_full_total", labels);
   shed_timeout_ =
       reg.GetCounter("serving_admission_shed_timeout_total", labels);
+  shed_brownout_ =
+      reg.GetCounter("serving_admission_shed_brownout_total", labels);
   peak_queue_gauge_ = reg.GetGauge("serving_admission_peak_queue", labels);
   limit_gauge_ = reg.GetGauge("serving_admission_limit", labels);
   limit_gauge_->Set(limit_);
@@ -82,8 +84,27 @@ obs::Counter* AdmissionController::ShedCounterLocked(int class_id) {
 
 bool AdmissionController::IsHeavyLocked(int class_id) const {
   if (!options_.adaptive) return false;
-  // Classification needs evidence: the class itself and a cheapest peer
-  // must both have settled EWMAs, otherwise everything is (optimistically)
+  // The classification is the *streak*, not the instantaneous ratio: a
+  // class acts heavy only after `heavy_streak` consecutive completions
+  // above the threshold (hysteresis — see AdmissionOptions). The streak is
+  // maintained in Release, where the EWMAs update.
+  auto it = classes_.find(class_id);
+  return it != classes_.end() &&
+         it->second.heavy_streak >= std::max(1, options_.heavy_streak);
+}
+
+bool AdmissionController::SampleRatioHeavyLocked(int class_id,
+                                                 double sample_s) const {
+  // Judges one fresh (winsorized) sample against the cheapest peer's EWMA.
+  // The streak deliberately consumes samples, not the class's own EWMA: an
+  // EWMA inflated by a stall burst stays above the threshold for several
+  // completions while it decays, which would feed the streak exactly the
+  // consecutive hits the hysteresis exists to demand. A normal-speed
+  // sample resets the streak instantly; only genuinely sustained slowness
+  // keeps it growing.
+  //
+  // The ratio needs evidence: the class itself and a cheapest peer must
+  // both have settled EWMAs, otherwise everything is (optimistically)
   // cheap and the first runs teach the model.
   constexpr int64_t kMinCompletions = 3;
   auto it = classes_.find(class_id);
@@ -100,11 +121,17 @@ bool AdmissionController::IsHeavyLocked(int class_id) const {
     }
   }
   return have_min && min_ewma > 0 &&
-         it->second.service_ewma_s > options_.heavy_service_factor * min_ewma;
+         sample_s > options_.heavy_service_factor * min_ewma;
 }
 
 int AdmissionController::HeavyCapLocked() const {
-  return std::max(1, static_cast<int>(limit_ * options_.heavy_share));
+  const double factor = capacity_factor_.load(std::memory_order_relaxed);
+  const int cap = static_cast<int>(limit_ * options_.heavy_share *
+                                   std::clamp(factor, 0.0, 1.0));
+  // At full capacity heavy classes always keep one slot; in a brown-out the
+  // cap may shrink to zero — heavy arrivals are then shed on arrival (see
+  // Admit) so cheap traffic inherits the surviving capacity.
+  return factor >= 1.0 ? std::max(1, cap) : std::max(0, cap);
 }
 
 int AdmissionController::MaxQueueLocked() const {
@@ -147,6 +174,18 @@ AdmissionOutcome AdmissionController::Admit(
   // reclassified mid-wait).
   const bool heavy = IsHeavyLocked(class_id);
   if (!CanStartLocked(heavy)) {
+    // Brown-out: with the fleet degraded, a heavy arrival that cannot start
+    // is shed immediately rather than queued — queueing it would make it
+    // compete with cheap ops for the shrunken capacity, which is exactly the
+    // priority inversion graceful degradation exists to prevent.
+    if (heavy &&
+        capacity_factor_.load(std::memory_order_relaxed) < 1.0) {
+      shed_queue_full_->Inc();
+      shed_brownout_->Inc();
+      ShedCounterLocked(class_id)->Inc();
+      ++sheds_since_adjust_;
+      return AdmissionOutcome::kShedQueueFull;
+    }
     if (waiting_ >= MaxQueueLocked()) {
       shed_queue_full_->Inc();
       ShedCounterLocked(class_id)->Inc();
@@ -193,19 +232,36 @@ void AdmissionController::Release(int class_id, double service_s,
     --inflight_;
     if (was_heavy) --heavy_inflight_;
     if (service_s >= 0) {
+      // Winsorized updates: a sample contributes at most
+      // service_outlier_cap x the current estimate, so one scheduler-stall
+      // outlier cannot reclassify a class or collapse the adaptive limit;
+      // sustained slowness still compounds through the cap.
+      const double cap = options_.service_outlier_cap;
       ClassStat& stat = classes_[class_id];
+      double sample = service_s;
+      if (cap > 1.0 && stat.completions > 0 && stat.service_ewma_s > 0) {
+        sample = std::min(sample, cap * stat.service_ewma_s);
+      }
       stat.service_ewma_s = stat.completions == 0
-                                ? service_s
+                                ? sample
                                 : stat.service_ewma_s +
                                       options_.ewma_alpha *
-                                          (service_s - stat.service_ewma_s);
+                                          (sample - stat.service_ewma_s);
       ++stat.completions;
+      double global_sample = service_s;
+      if (cap > 1.0 && service_samples_ > 0 && service_ewma_s_ > 0) {
+        global_sample = std::min(global_sample, cap * service_ewma_s_);
+      }
       service_ewma_s_ = service_samples_ == 0
-                            ? service_s
+                            ? global_sample
                             : service_ewma_s_ +
                                   options_.ewma_alpha *
-                                      (service_s - service_ewma_s_);
+                                      (global_sample - service_ewma_s_);
       ++service_samples_;
+      // Hysteresis input: consecutive above-threshold samples.
+      stat.heavy_streak =
+          SampleRatioHeavyLocked(class_id, sample) ? stat.heavy_streak + 1
+                                                   : 0;
     }
     if (options_.adaptive &&
         ++completions_since_adjust_ >= std::max(1, options_.adjust_interval)) {
@@ -222,12 +278,21 @@ void AdmissionController::Release(int class_id, double service_s,
   slot_free_.notify_all();
 }
 
+void AdmissionController::SetCapacityFactor(double factor) {
+  factor = std::clamp(factor, 0.0, 1.0);
+  const double prev = capacity_factor_.exchange(factor,
+                                                std::memory_order_relaxed);
+  // Recovering capacity can unblock heavy waiters whose cap just grew back.
+  if (factor > prev) slot_free_.notify_all();
+}
+
 AdmissionStats AdmissionController::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   AdmissionStats s;
   s.admitted = admitted_->Value();
   s.shed_queue_full = shed_queue_full_->Value();
   s.shed_timeout = shed_timeout_->Value();
+  s.shed_brownout = shed_brownout_->Value();
   s.peak_queue = static_cast<int64_t>(peak_queue_gauge_->Value());
   s.current_limit = limit_;
   for (const auto& [class_id, counter] : shed_by_class_) {

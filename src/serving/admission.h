@@ -1,6 +1,7 @@
 #ifndef GENBASE_SERVING_ADMISSION_H_
 #define GENBASE_SERVING_ADMISSION_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -60,6 +61,26 @@ struct AdmissionOptions {
   double heavy_share = 0.5;
   /// EWMA smoothing for service times and queue waits.
   double ewma_alpha = 0.2;
+  /// Winsorized service-EWMA update: one completion may contribute a
+  /// sample of at most this factor x the current estimate. A scheduler
+  /// stall on an oversubscribed host yields a wall-clock service sample
+  /// tens of times the true mean; unclamped, a single such outlier moves
+  /// a cheap class's EWMA across the heavy_service_factor threshold
+  /// (alpha 0.2 against a 4x bar) and a brown-out then sheds traffic that
+  /// was never heavy. Persistent slowness still crosses the cap in a few
+  /// completions (the estimate compounds by up to this factor each
+  /// update). <= 1 disables the clamp.
+  double service_outlier_cap = 4.0;
+  /// Classification hysteresis: a class is treated as heavy only after
+  /// this many consecutive *samples* observed above the
+  /// heavy_service_factor threshold. The streak judges fresh samples,
+  /// not the class EWMA: an EWMA inflated by one stall burst stays above
+  /// the threshold for several completions while it decays, which would
+  /// hand the streak exactly the consecutive hits hysteresis exists to
+  /// demand. With samples, the first normal-speed completion resets the
+  /// streak; a genuinely heavy class accumulates it within its first few
+  /// completions.
+  int heavy_streak = 3;
 };
 
 enum class AdmissionOutcome {
@@ -130,6 +151,19 @@ class AdmissionController {
   const AdmissionOptions& options() const { return options_; }
   AdmissionStats stats() const;
 
+  /// Brown-out wiring: the serving stack pushes the router's serving
+  /// capacity fraction (healthy=1, degraded=0.5, down=0 per shard, averaged)
+  /// here. Below 1.0 the heavy-class slot cap shrinks proportionally (floor
+  /// 0) and heavy arrivals that cannot start are shed immediately instead of
+  /// queueing — heavy classes pay for the lost capacity first, so cheap Q1
+  /// traffic keeps its SLO through the brown-out. 1.0 (the default) is
+  /// byte-for-byte the pre-fault behavior. Clamped to [0, 1]; cheap (a
+  /// relaxed atomic exchange) so the stack may call it every serve.
+  void SetCapacityFactor(double factor);
+  double capacity_factor() const {
+    return capacity_factor_.load(std::memory_order_relaxed);
+  }
+
   /// Current concurrency limit (fixed in static mode; the controller's live
   /// value in adaptive mode).
   int current_limit() const;
@@ -142,9 +176,15 @@ class AdmissionController {
   struct ClassStat {
     double service_ewma_s = 0.0;
     int64_t completions = 0;
+    /// Consecutive winsorized samples above the heavy threshold (see
+    /// AdmissionOptions::heavy_streak).
+    int heavy_streak = 0;
   };
 
   bool IsHeavyLocked(int class_id) const;
+  /// One fresh sample judged against the cheapest other class's EWMA —
+  /// the streak's input, not the classification itself.
+  bool SampleRatioHeavyLocked(int class_id, double sample_s) const;
   bool CanStartLocked(bool heavy) const;
   int HeavyCapLocked() const;
   int MaxQueueLocked() const;
@@ -167,6 +207,11 @@ class AdmissionController {
   int completions_since_adjust_ = 0;
   int64_t sheds_since_adjust_ = 0;  ///< Queue-full sheds (demand signal).
   std::map<int, ClassStat> classes_;
+  /// Serving-capacity fraction from the router (see SetCapacityFactor).
+  /// Atomic so the stack can publish it without taking mu_; readers under
+  /// mu_ see a value at most one serve stale, which only shifts *when* a
+  /// brown-out engages by one op.
+  std::atomic<double> capacity_factor_{1.0};
 
   /// Live counters are registry instruments (serving_admission_* with this
   /// instance's label), incremented under mu_ so stats() snapshots stay
@@ -174,6 +219,7 @@ class AdmissionController {
   obs::Counter* admitted_;
   obs::Counter* shed_queue_full_;
   obs::Counter* shed_timeout_;
+  obs::Counter* shed_brownout_;
   obs::Gauge* peak_queue_gauge_;
   obs::Gauge* limit_gauge_;
   std::map<int, obs::Counter*> shed_by_class_;

@@ -19,6 +19,19 @@ void SubtractEach(T* now, const T& since,
 
 }  // namespace
 
+const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kDegraded:
+      return "degraded";
+    case ShardHealth::kDown:
+      return "down";
+    default:
+      return "unknown";
+  }
+}
+
 ServingCounters CountersDelta(const ServingCounters& now,
                               const ServingCounters& since) {
   ServingCounters d = now;
@@ -28,7 +41,8 @@ ServingCounters CountersDelta(const ServingCounters& now,
                 &CacheStats::invalidated, &CacheStats::rejected_oversize});
   SubtractEach(&d.admission, since.admission,
                {&AdmissionStats::admitted, &AdmissionStats::shed_queue_full,
-                &AdmissionStats::shed_timeout});
+                &AdmissionStats::shed_timeout,
+                &AdmissionStats::shed_brownout});
   for (const auto& [class_id, shed] : since.admission.shed_by_class) {
     d.admission.shed_by_class[class_id] -= shed;
   }
@@ -39,10 +53,20 @@ ServingCounters CountersDelta(const ServingCounters& now,
                 &SingleFlightStats::shed_wait_timeout});
   d.stale_hits -= since.stale_hits;
   d.reloads -= since.reloads;
+  SubtractEach(&d.retry, since.retry,
+               {&RetryStats::retries, &RetryStats::retry_successes,
+                &RetryStats::retry_deadline_giveups, &RetryStats::hedges,
+                &RetryStats::hedge_wins});
+  SubtractEach(&d.faults, since.faults,
+               {&FaultStats::crashes, &FaultStats::recoveries,
+                &FaultStats::latency_spikes, &FaultStats::transient_errors,
+                &FaultStats::reload_failures});
   for (size_t s = 0; s < d.shards.size() && s < since.shards.size(); ++s) {
     SubtractEach(&d.shards[s], since.shards[s],
-                 {&ShardStats::ops, &ShardStats::errors, &ShardStats::infs});
+                 {&ShardStats::ops, &ShardStats::errors, &ShardStats::infs,
+                  &ShardStats::breaker_opens});
     d.shards[s].busy_s -= since.shards[s].busy_s;
+    // health is a gauge: keep the `now` value.
   }
   return d;
 }

@@ -51,6 +51,10 @@ struct AdmissionStats {
   int64_t admitted = 0;
   int64_t shed_queue_full = 0;
   int64_t shed_timeout = 0;
+  /// Heavy-class arrivals shed because a brown-out shrank the heavy slot
+  /// cap (graceful degradation: cheap classes keep flowing). A subset-style
+  /// attribution counter — these sheds are also counted in shed_queue_full.
+  int64_t shed_brownout = 0;
   int64_t peak_queue = 0;
   int64_t current_limit = 0;
   /// Sheds (queue-full + timeout) by admission class (the serving stack
@@ -73,6 +77,19 @@ struct SingleFlightStats {
   int64_t shed_wait_timeout = 0;  ///< Followers shed at their start deadline.
 };
 
+/// \brief Per-shard serving health, as routing sees it. Healthy shards get
+/// plain join-shortest-queue traffic; degraded shards (latency-spike window
+/// or a half-open circuit breaker) are deprioritized but still probed; down
+/// shards (injected crash, failed reload, open breaker) are routed around
+/// entirely while any alternative exists.
+enum class ShardHealth {
+  kHealthy = 0,
+  kDegraded = 1,
+  kDown = 2,
+};
+
+const char* ShardHealthName(ShardHealth health);
+
 /// \brief Per-shard serving statistics, merged into the stack's counters
 /// (and, through WorkloadReport, into figure/JSON output).
 struct ShardStats {
@@ -80,6 +97,34 @@ struct ShardStats {
   int64_t errors = 0;
   int64_t infs = 0;
   double busy_s = 0.0;  ///< Summed per-op total (measured + modeled) seconds.
+  /// Times this shard's error-rate circuit breaker opened (cumulative).
+  int64_t breaker_opens = 0;
+  /// Current routing health (gauge, not cumulative).
+  ShardHealth health = ShardHealth::kHealthy;
+};
+
+/// \brief Retry/hedging counters of the serving stack's miss path.
+struct RetryStats {
+  int64_t retries = 0;        ///< Extra execute attempts after a failure.
+  int64_t retry_successes = 0;///< Ops that failed at least once then served.
+  int64_t retry_deadline_giveups = 0;  ///< Retries skipped: no budget left.
+  int64_t hedges = 0;         ///< Hedged (duplicate) attempts issued.
+  int64_t hedge_wins = 0;     ///< Hedges that beat the primary attempt.
+};
+
+/// \brief Injected-fault counters mirrored from the FaultInjector (all zero
+/// when no injector is attached).
+struct FaultStats {
+  int64_t crashes = 0;
+  int64_t recoveries = 0;
+  int64_t latency_spikes = 0;
+  int64_t transient_errors = 0;
+  int64_t reload_failures = 0;
+
+  int64_t total() const {
+    return crashes + recoveries + latency_spikes + transient_errors +
+           reload_failures;
+  }
 };
 
 /// \brief Merged counter snapshot of all three layers, embedded in
@@ -97,6 +142,8 @@ struct ServingCounters {
   int64_t stale_hits = 0;
   /// Completed ServingStack::ReloadDataset calls (cumulative).
   int64_t reloads = 0;
+  RetryStats retry;
+  FaultStats faults;
 };
 
 /// Counter delta `now - since` (cumulative counters subtract; gauges —

@@ -1,5 +1,8 @@
 #include "serving/serving_stack.h"
 
+#include <algorithm>
+#include <limits>
+#include <thread>
 #include <utility>
 
 #include "common/timer.h"
@@ -54,6 +57,12 @@ ServingStack::ServingStack(const ServingOptions& options,
       reg.GetCounter("serving_flight_follower_fallbacks_total", labels);
   flight_shed_wait_timeout_ =
       reg.GetCounter("serving_flight_shed_wait_timeout_total", labels);
+  retries_ = reg.GetCounter("serving_retries_total", labels);
+  retry_successes_ = reg.GetCounter("serving_retry_successes_total", labels);
+  retry_deadline_giveups_ =
+      reg.GetCounter("serving_retry_deadline_giveups_total", labels);
+  hedges_ = reg.GetCounter("serving_hedges_total", labels);
+  hedge_wins_ = reg.GetCounter("serving_hedge_wins_total", labels);
 }
 
 genbase::Result<std::unique_ptr<ServingStack>> ServingStack::Create(
@@ -61,6 +70,9 @@ genbase::Result<std::unique_ptr<ServingStack>> ServingStack::Create(
     const core::GenBaseData& data) {
   GENBASE_ASSIGN_OR_RETURN(std::unique_ptr<ShardRouter> router,
                            ShardRouter::Create(options.shards, factory, data));
+  if (options.fault_injector != nullptr) {
+    router->SetFaultInjector(options.fault_injector);
+  }
   return std::unique_ptr<ServingStack>(
       // lint:allow(raw-new-delete): make_unique cannot reach the private ctor; owned immediately
       new ServingStack(options, std::move(router)));
@@ -145,6 +157,20 @@ ServeResult ServingStack::Serve(
     core::QueryId query, core::DatasetSize size,
     const core::DriverOptions& options, ExecContext* ctx,
     std::optional<std::chrono::steady_clock::time_point> scheduled_arrival) {
+  // Op sequence number: the injector's tick when a fault script is attached
+  // (its schedules and deterministic draws are keyed to it), the stack's own
+  // counter otherwise (retry jitter stays per-op deterministic either way).
+  uint64_t op_id = op_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  FaultInjector* const faults = options_.fault_injector;
+  if (faults != nullptr && faults->enabled()) {
+    op_id = faults->OnServe();
+  }
+  // Brown-out wiring: publish the router's serving-capacity fraction to
+  // admission so a degraded fleet sheds heavy classes first. A relaxed
+  // atomic read + exchange; no-ops at full health.
+  if (admission_.enabled()) {
+    admission_.SetCapacityFactor(router_->capacity_fraction());
+  }
   const CacheKey key{query, FingerprintParams(options.params), size,
                      epoch_.load(std::memory_order_acquire)};
   // One budget per op, anchored at its (scheduled) arrival: a follower
@@ -210,7 +236,7 @@ ServeResult ServingStack::Serve(
         return result;
       }
       ServeResult result = ExecuteMiss(key, query, size, options, ctx,
-                                       start_deadline, flight);
+                                       start_deadline, flight, op_id);
       result.stale_tripwire = stale_tripwire;
       return result;
     }
@@ -263,7 +289,7 @@ ServeResult ServingStack::Serve(
   }
 
   ServeResult result = ExecuteMiss(key, query, size, options, ctx,
-                                   start_deadline, /*flight=*/nullptr);
+                                   start_deadline, /*flight=*/nullptr, op_id);
   result.stale_tripwire = stale_tripwire;
   result.admission_wait_s += fallback_wait_s;
   result.stages[obs::RequestStage::kFlight] += fallback_wait_s;
@@ -275,7 +301,8 @@ ServeResult ServingStack::ExecuteMiss(
     const CacheKey& key, core::QueryId query, core::DatasetSize size,
     const core::DriverOptions& options, ExecContext* ctx,
     std::optional<std::chrono::steady_clock::time_point> start_deadline,
-    const std::shared_ptr<SingleFlightTable::Flight>& flight) {
+    const std::shared_ptr<SingleFlightTable::Flight>& flight,
+    uint64_t op_id) {
   ServeResult result;
   bool admitted_heavy = false;
   double admission_wait_s = 0.0;
@@ -302,53 +329,173 @@ ServeResult ServingStack::ExecuteMiss(
   result.stages[obs::RequestStage::kQueue] = admission_wait_s;
   result.stages.Cpu(obs::RequestStage::kQueue) = queue_cpu_s;
 
+  FaultInjector* const faults = options_.fault_injector;
+  const RetryPolicy& retry = options_.retry;
+  const uint64_t jitter_seed = faults != nullptr ? faults->seed() : 0;
+  // Seconds left on the op's single start-deadline budget — the same clock
+  // the follower fallback and admission wait already spent from. +inf with
+  // no deadline configured.
+  const auto remaining_budget_s = [&start_deadline] {
+    if (!start_deadline.has_value()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::chrono::duration<double>(*start_deadline -
+                                         std::chrono::steady_clock::now())
+        .count();
+  };
+  // One execute attempt on one shard: dispatch span (acquire), execute span
+  // (engine run + PhaseClock child spans), injected latency spike charged
+  // as modeled glue. `exclude` routes the attempt away from a shard a
+  // previous attempt failed on (or, for a hedge, the primary's shard).
+  const auto run_attempt = [&](int exclude, int attempt, const char* label,
+                               int* shard_out, uint64_t* epoch_out) {
+    {
+      obs::ScopedSpan dispatch_span("dispatch");
+      const double dispatch_cpu_begin = obs::Profiler::CpuBegin();
+      *shard_out = router_->AcquireShard(exclude);
+      // The modeled network round trip added below is the dispatch stage's
+      // wall time; the shard acquire is its only real CPU.
+      result.stages.Cpu(obs::RequestStage::kDispatch) +=
+          obs::Profiler::CpuDelta(dispatch_cpu_begin);
+      if (dispatch_span.active()) {
+        dispatch_span.SetDetail(std::string(label) + "shard " +
+                                std::to_string(*shard_out));
+      }
+    }
+    core::CellResult cell;
+    {
+      obs::ScopedSpan exec_span("execute");
+      obs::ScopedExecutePerf exec_perf;
+      const double exec_cpu_begin = obs::Profiler::CpuBegin();
+      const double exec_start =
+          exec_span.active() ? obs::Tracer::Global().NowSeconds() : 0.0;
+      cell = router_->RunOnShard(*shard_out, query, size, options, ctx,
+                                 epoch_out, op_id, attempt);
+      result.stages.Cpu(obs::RequestStage::kExecute) +=
+          obs::Profiler::CpuDelta(exec_cpu_begin);
+      if (exec_span.active()) {
+        // Bridge the PhaseClock breakdown as child spans: a sequential
+        // data-management / analytics / glue layout under the execute span.
+        // The clock records phase *sums*, not intervals, so the children are
+        // an attribution view (their order is synthetic), but their widths
+        // are the paper's Figure 2/4 split for exactly this op.
+        double t = exec_start;
+        const double dm = std::max(0.0, cell.dm_s - cell.glue_s);
+        obs::EmitChildSpan("data_management", t, dm);
+        t += dm;
+        obs::EmitChildSpan("analytics", t, cell.analytics_s);
+        t += cell.analytics_s;
+        obs::EmitChildSpan("glue", t, cell.glue_s);
+      }
+    }
+    if (faults != nullptr && faults->enabled()) {
+      // Slow-shard brown-out: the injected spike is virtual time, folded in
+      // exactly like the network model so totals and deadlines see it.
+      const double spike_s = faults->ShardLatencySeconds(*shard_out);
+      if (spike_s > 0.0 && cell.status.ok()) {
+        ChargeModeledGlue(&cell, spike_s, options.timeout_seconds);
+      }
+    }
+    return cell;
+  };
+
   uint64_t data_epoch = 0;
-  {
-    obs::ScopedSpan dispatch_span("dispatch");
-    const double dispatch_cpu_begin = obs::Profiler::CpuBegin();
-    result.shard = router_->AcquireShard();
-    // The modeled network round trip added below is the dispatch stage's
-    // wall time; the shard acquire is its only real CPU.
-    result.stages.Cpu(obs::RequestStage::kDispatch) =
-        obs::Profiler::CpuDelta(dispatch_cpu_begin);
-    if (dispatch_span.active()) {
-      dispatch_span.SetDetail("shard " + std::to_string(result.shard));
+  // Failed attempts' cell time, backoff sleeps, and losing hedge attempts:
+  // real cost this op paid beyond its final answer, charged onto the final
+  // cell as modeled glue so latency accounting never loses it.
+  double overhead_s = 0.0;
+  int attempt = 1;
+  int previous_shard = -1;
+  bool any_attempt_failed = false;
+  for (;;) {
+    data_epoch = 0;
+    result.cell = run_attempt(previous_shard, attempt,
+                              attempt == 1 ? "" : "retry ", &result.shard,
+                              &data_epoch);
+    // Retry transient failures only: unsupported queries fail identically
+    // everywhere and INF (timeout/OOM) already consumed the op's budget.
+    const bool retryable = result.cell.supported && !result.cell.infinite &&
+                           !result.cell.status.ok();
+    if (!retryable) break;
+    double backoff_s = 0.0;
+    if (!ScheduleRetry(retry, jitter_seed, op_id, attempt,
+                       remaining_budget_s(), &backoff_s)) {
+      // Attempts remained but the deadline budget was spent: give up rather
+      // than retry past the client's patience.
+      if (attempt < retry.max_attempts) retry_deadline_giveups_->Inc();
+      break;
+    }
+    any_attempt_failed = true;
+    overhead_s += result.cell.total_s;
+    if (backoff_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      overhead_s += backoff_s;
+    }
+    retries_->Inc();
+    ++result.retries;
+    previous_shard = result.shard;
+    ++attempt;
+  }
+  bool interim_servable = result.cell.supported && result.cell.status.ok() &&
+                          !result.cell.infinite;
+  if (any_attempt_failed && interim_servable) retry_successes_->Inc();
+
+  // Hedged request: cheap classes only, and only when the served attempt
+  // came back slow — over the class's service EWMA threshold, or from a
+  // shard inside an injected latency-spike window (over threshold by
+  // construction). Sequential backup-request style: one extra attempt on a
+  // different shard, faster cell wins, loser's time becomes overhead.
+  if (retry.hedge_cheap && interim_servable && router_->shards() > 1 &&
+      !admitted_heavy && admission_.enabled() &&
+      remaining_budget_s() > 0.0) {
+    const double class_ewma_s =
+        admission_.ClassServiceEwma(static_cast<int>(query));
+    const double real_s =
+        std::max(0.0, result.cell.total_s - result.cell.modeled_s);
+    double spike_s = 0.0;
+    if (faults != nullptr && faults->enabled()) {
+      spike_s = faults->ShardLatencySeconds(result.shard);
+    }
+    const bool slow =
+        spike_s > 0.0 ||
+        (class_ewma_s > 0.0 &&
+         real_s > retry.hedge_threshold_factor * class_ewma_s);
+    if (slow) {
+      hedges_->Inc();
+      result.hedged = true;
+      ++attempt;
+      int hedge_shard = -1;
+      uint64_t hedge_epoch = 0;
+      const core::CellResult hedge_cell = run_attempt(
+          result.shard, attempt, "hedge ", &hedge_shard, &hedge_epoch);
+      const bool hedge_servable = hedge_cell.supported &&
+                                  hedge_cell.status.ok() &&
+                                  !hedge_cell.infinite;
+      if (hedge_servable && hedge_cell.total_s < result.cell.total_s) {
+        hedge_wins_->Inc();
+        overhead_s += result.cell.total_s;
+        result.cell = hedge_cell;
+        result.shard = hedge_shard;
+        data_epoch = hedge_epoch;
+      } else {
+        overhead_s += hedge_cell.total_s;
+      }
     }
   }
-  {
-    obs::ScopedSpan exec_span("execute");
-    obs::ScopedExecutePerf exec_perf;
-    const double exec_cpu_begin = obs::Profiler::CpuBegin();
-    const double exec_start =
-        exec_span.active() ? obs::Tracer::Global().NowSeconds() : 0.0;
-    result.cell = router_->RunOnShard(result.shard, query, size, options, ctx,
-                                      &data_epoch);
-    result.stages.Cpu(obs::RequestStage::kExecute) =
-        obs::Profiler::CpuDelta(exec_cpu_begin);
-    if (exec_span.active()) {
-      // Bridge the PhaseClock breakdown as child spans: a sequential
-      // data-management / analytics / glue layout under the execute span.
-      // The clock records phase *sums*, not intervals, so the children are
-      // an attribution view (their order is synthetic), but their widths
-      // are the paper's Figure 2/4 split for exactly this op.
-      const core::CellResult& cell = result.cell;
-      double t = exec_start;
-      const double dm = std::max(0.0, cell.dm_s - cell.glue_s);
-      obs::EmitChildSpan("data_management", t, dm);
-      t += dm;
-      obs::EmitChildSpan("analytics", t, cell.analytics_s);
-      t += cell.analytics_s;
-      obs::EmitChildSpan("glue", t, cell.glue_s);
-    }
-  }
+
   // Real slot-holding seconds feed the adaptive service-time model; the
-  // modeled share never occupied an execution slot.
+  // modeled share never occupied an execution slot. (The retry/hedge
+  // overhead is charged below, after this read, so it stays out of the
+  // service EWMA — it is queueing-shaped cost, not service time.)
   admission_.Release(static_cast<int>(query),
                      std::max(0.0, result.cell.total_s -
                                        result.cell.modeled_s),
                      admitted_heavy);
 
-  const double total_before_net_s = result.cell.total_s;
+  const double exec_stage_s = result.cell.total_s;
+  if (overhead_s > 0.0) {
+    ChargeModeledGlue(&result.cell, overhead_s, options.timeout_seconds);
+  }
   if (options_.model_network) {
     const int64_t reply_bytes = result.cell.status.ok()
                                     ? ApproxResultBytes(result.cell.result)
@@ -358,11 +505,12 @@ ServeResult ServingStack::ExecuteMiss(
                           net_.TransferSeconds(reply_bytes),
                       options.timeout_seconds);
   }
-  // Stage accounting: the modeled round trip is the dispatch stage; the
-  // rest of the cell (engine work, real + modeled) is the execute stage.
+  // Stage accounting: retry/hedge overhead plus the modeled round trip are
+  // the dispatch stage; the served attempt's cell (engine work, real +
+  // modeled) is the execute stage.
   result.stages[obs::RequestStage::kDispatch] =
-      result.cell.total_s - total_before_net_s;
-  result.stages[obs::RequestStage::kExecute] = total_before_net_s;
+      result.cell.total_s - exec_stage_s;
+  result.stages[obs::RequestStage::kExecute] = exec_stage_s;
   const bool servable = result.cell.supported && result.cell.status.ok() &&
                         !result.cell.infinite;
   if (options_.cache_enabled && servable && data_epoch == key.epoch &&
@@ -400,6 +548,19 @@ ServingCounters ServingStack::counters() const {
   c.flight.shed_wait_timeout = flight_shed_wait_timeout_->Value();
   c.stale_hits = stale_hits_->Value();
   c.reloads = reloads_->Value();
+  c.retry.retries = retries_->Value();
+  c.retry.retry_successes = retry_successes_->Value();
+  c.retry.retry_deadline_giveups = retry_deadline_giveups_->Value();
+  c.retry.hedges = hedges_->Value();
+  c.retry.hedge_wins = hedge_wins_->Value();
+  if (options_.fault_injector != nullptr) {
+    const FaultInjector& f = *options_.fault_injector;
+    c.faults.crashes = f.injected(FaultKind::kCrash);
+    c.faults.recoveries = f.injected(FaultKind::kRecover);
+    c.faults.latency_spikes = f.injected(FaultKind::kLatencySpike);
+    c.faults.transient_errors = f.injected(FaultKind::kTransientError);
+    c.faults.reload_failures = f.injected(FaultKind::kReloadFailure);
+  }
   return c;
 }
 

@@ -17,6 +17,7 @@
 #include "obs/trace.h"
 #include "serving/admission.h"
 #include "serving/counters.h"
+#include "serving/faults.h"
 #include "serving/result_cache.h"
 #include "serving/shard_router.h"
 #include "serving/single_flight.h"
@@ -46,6 +47,17 @@ struct ServingOptions {
   /// modeled cost is, and it gives cache hits a realistic network-bound
   /// floor instead of a free 0s.
   bool model_network = true;
+
+  /// Bounded retries (exponential backoff, deterministic jitter) and
+  /// optional cheap-class hedging on the miss path. Defaults disable both.
+  /// The retry budget is the op's single start deadline — computed once per
+  /// Serve and shared with the single-flight fallback path, so retries,
+  /// hedges, and follower fallbacks all drain one clock.
+  RetryPolicy retry;
+
+  /// Fault injector replayed against this stack (non-owning; must outlive
+  /// it). Null — the default — keeps every injection hook unreachable.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// \brief Outcome of one Serve() call. Exactly one of these holds: the op
@@ -70,6 +82,11 @@ struct ServeResult {
   /// The stale-hit tripwire fired on this op's lookup (it was healed by a
   /// recompute — see Serve — but the runner tail-keeps the trace).
   bool stale_tripwire = false;
+  /// Extra execute attempts this op needed after failures (0 = first try
+  /// served). The runner tail-keeps any op that retried or hedged.
+  int retries = 0;
+  /// A hedged (duplicate) attempt was issued for this op.
+  bool hedged = false;
 };
 
 /// \brief The serving layer: result cache, then single-flight coalescing,
@@ -127,17 +144,22 @@ class ServingStack {
   ServingStack(const ServingOptions& options,
                std::unique_ptr<ShardRouter> router);
 
-  /// The miss path: admission, shard execution, network model, cache
-  /// insert, and — when `flight` is set — the leader's publish.
-  /// `start_deadline` is computed once per op in Serve: a follower that
-  /// falls back here after a failed flight must not get a fresh budget.
+  /// The miss path: admission, shard execution (with bounded retries and
+  /// optional hedging), network model, cache insert, and — when `flight` is
+  /// set — the leader's publish. `start_deadline` is computed once per op
+  /// in Serve: a follower that falls back here after a failed flight must
+  /// not get a fresh budget, and the retry loop spends the same budget (see
+  /// tests/serving_test FollowerFallbackKeepsDeadline). `op_id` is the op's
+  /// sequence number — the injector's when one is attached, the stack's own
+  /// otherwise — seeding deterministic fault draws and backoff jitter.
   ServeResult ExecuteMiss(const CacheKey& key, core::QueryId query,
                           core::DatasetSize size,
                           const core::DriverOptions& options, ExecContext* ctx,
                           std::optional<std::chrono::steady_clock::time_point>
                               start_deadline,
                           const std::shared_ptr<SingleFlightTable::Flight>&
-                              flight);
+                              flight,
+                          uint64_t op_id);
 
   std::optional<std::chrono::steady_clock::time_point> StartDeadline(
       std::optional<std::chrono::steady_clock::time_point> scheduled_arrival)
@@ -165,6 +187,8 @@ class ServingStack {
 
   std::atomic<uint64_t> epoch_;
   std::mutex reload_mu_;  ///< Serializes ReloadDataset calls.
+  /// Per-Serve sequence for retry jitter when no injector supplies op ids.
+  std::atomic<uint64_t> op_seq_{0};
 
   /// Registry instruments (serving_flight_* / serving_stack_* with this
   /// instance's label); Inc is atomic, so unlike the mutex-guarded layers
@@ -177,6 +201,11 @@ class ServingStack {
   obs::Counter* flight_coalesced_served_;
   obs::Counter* flight_follower_fallbacks_;
   obs::Counter* flight_shed_wait_timeout_;
+  obs::Counter* retries_;
+  obs::Counter* retry_successes_;
+  obs::Counter* retry_deadline_giveups_;
+  obs::Counter* hedges_;
+  obs::Counter* hedge_wins_;
 };
 
 }  // namespace genbase::serving

@@ -1,6 +1,7 @@
 #ifndef GENBASE_SERVING_SHARD_ROUTER_H_
 #define GENBASE_SERVING_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -15,6 +16,7 @@
 #include "core/engine.h"
 #include "obs/metrics.h"
 #include "serving/counters.h"
+#include "serving/faults.h"
 
 namespace genbase::serving {
 
@@ -47,21 +49,41 @@ class ShardRouter {
   int shards() const { return static_cast<int>(shards_.size()); }
   std::string engine_name() const { return shards_[0]->engine->name(); }
 
-  /// Claims the least-loaded shard for one op (increments its outstanding
-  /// count); the matching RunOnShard releases it. Shards mid-reload are
-  /// skipped; if every shard is draining (only possible with one shard),
-  /// blocks until one is serveable again.
-  int AcquireShard();
+  /// Attaches a fault injector (non-owning; must outlive the router and be
+  /// set before serving starts). Null (the default) keeps every injection
+  /// hook unreachable — the zero-cost no-op configuration.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+
+  /// Claims a shard for one op (increments its outstanding count); the
+  /// matching RunOnShard releases it. Because every shard holds a full copy
+  /// of the dataset, the fleet is a replica group and routing is
+  /// failure-aware join-shortest-queue: down shards (crashed / failed
+  /// reload / open breaker) are skipped while any alternative serves,
+  /// degraded shards (latency spike, half-open breaker) are deprioritized
+  /// but still probed, and ties go to the lowest id (a 1-shard healthy
+  /// router stays byte-identical to the direct engine path). `exclude`
+  /// (>= 0) asks for a different shard than a failed or hedged attempt
+  /// used, honored whenever any other shard is available. If every shard is
+  /// down, the least-loaded one is returned anyway — RunOnShard then fails
+  /// fast instead of this call deadlocking. Only when every shard is
+  /// draining (single-shard mid-reload) does this block.
+  int AcquireShard(int exclude = -1);
 
   /// Executes one operation on shard `s` through core::RunCellWithContext
-  /// (the timed, timeout-enforcing path), updates that shard's stats, and
-  /// releases it. `data_epoch` (optional) receives the generation of the
-  /// dataset this shard holds (see dataset_epoch) — stable across the run,
-  /// because reloads drain a shard before touching its data.
+  /// (the timed, timeout-enforcing path), updates that shard's stats and
+  /// breaker state, and releases it. `data_epoch` (optional) receives the
+  /// generation of the dataset this shard holds (see dataset_epoch) —
+  /// stable across the run, because reloads drain a shard before touching
+  /// its data. `fault_op`/`attempt` feed the injector's deterministic
+  /// transient-error draw (ignored with no injector attached). A crashed
+  /// shard or one whose last reload failed answers an Internal error
+  /// without touching the engine — failing fast is what lets the retry
+  /// layer move the op to a replica.
   core::CellResult RunOnShard(int s, core::QueryId query,
                               core::DatasetSize size,
                               const core::DriverOptions& options,
-                              ExecContext* ctx, uint64_t* data_epoch = nullptr);
+                              ExecContext* ctx, uint64_t* data_epoch = nullptr,
+                              uint64_t fault_op = 0, int attempt = 1);
 
   /// Rolling reload: one shard at a time is marked draining (AcquireShard
   /// routes around it), waited idle, and reloaded with `data` — the rest of
@@ -73,15 +95,34 @@ class ShardRouter {
   genbase::Status ReloadShards(const core::GenBaseData& data);
 
   /// The fleet's dataset generation: the minimum *successfully loaded*
-  /// generation across shards, i.e. the one every shard is guaranteed to
-  /// have reached. Deliberately not the raw core::Engine::dataset_epoch —
-  /// that counter advances on failed loads too, so comparing it across
-  /// shards after a mid-roll failure would leave the fleet permanently
-  /// desynchronized; per-shard generations only advance on success, so a
-  /// failed roll heals on the next successful ReloadShards.
+  /// generation across serving shards, i.e. the one every routable shard is
+  /// guaranteed to have reached. Deliberately not the raw
+  /// core::Engine::dataset_epoch — that counter advances on failed loads
+  /// too, so comparing it across shards after a mid-roll failure would
+  /// leave the fleet permanently desynchronized; per-shard generations only
+  /// advance on success, so a failed roll heals on the next successful
+  /// ReloadShards. Shards marked down by a failed reload are excluded from
+  /// the minimum (they are routed around, so their stale generation must
+  /// not pin the fleet's epoch) until a successful reload restores them.
   uint64_t dataset_epoch() const;
 
+  /// Serving-capacity fraction for brown-out wiring: mean over shards of
+  /// healthy=1, degraded=0.5, down=0, refreshed on every acquire and on
+  /// health transitions. Relaxed read, safe from any thread.
+  double capacity_fraction() const {
+    return capacity_fraction_.load(std::memory_order_relaxed);
+  }
+
   std::vector<ShardStats> stats() const;
+
+  /// Error-rate circuit breaker: this many consecutive non-timeout errors
+  /// open a shard's breaker (health -> down); after kBreakerCooldownOps
+  /// acquires fleet-wide the breaker goes half-open (health -> degraded)
+  /// and the next result on that shard closes it (success) or re-opens it
+  /// (error). Values chosen so the breaker reacts within one stampede burst
+  /// but a single flaky op never benches a shard.
+  static constexpr int kBreakerErrorThreshold = 3;
+  static constexpr uint64_t kBreakerCooldownOps = 64;
 
  private:
   struct Shard {
@@ -89,20 +130,39 @@ class ShardRouter {
     int outstanding = 0;       ///< Guarded by router mu_.
     bool draining = false;     ///< Guarded by router mu_.
     uint64_t generation = 0;   ///< Successfully loaded gen; guarded by mu_.
+    /// Organic routing health (breaker / reload state; the injector's crash
+    /// state overlays this at read time). Guarded by mu_.
+    ShardHealth health = ShardHealth::kHealthy;
+    bool reload_failed = false;      ///< Last reload failed; guarded by mu_.
+    int consecutive_errors = 0;      ///< Breaker input; guarded by mu_.
+    uint64_t breaker_open_until = 0; ///< acquire_seq_ tick; 0 = not open.
     /// Registry instruments (serving_shard_* with instance + shard labels),
     /// incremented under router mu_ so stats() snapshots stay exact.
     obs::Counter* ops = nullptr;
     obs::Counter* errors = nullptr;
     obs::Counter* infs = nullptr;
     obs::Gauge* busy_s = nullptr;
+    obs::Counter* breaker_opens = nullptr;
+    obs::Gauge* health_gauge = nullptr;
   };
 
   ShardRouter() = default;
 
+  /// Effective health: the organic state overlaid with the injector's crash
+  /// flag. Requires mu_.
+  ShardHealth EffectiveHealthLocked(int s) const;
+  /// Breaker bookkeeping for one completed attempt on shard s. Requires mu_.
+  void NoteResultLocked(int s, bool error);
+  /// Recomputes capacity_fraction_ and health gauges. Requires mu_.
+  void RecomputeCapacityLocked();
+
   mutable std::mutex mu_;
   std::condition_variable shard_state_;  ///< Drain-idle + undrain wakeups.
   std::vector<std::unique_ptr<Shard>> shards_;
-  uint64_t generation_ = 0;  ///< Last fleet-wide successful gen; mu_.
+  uint64_t generation_ = 0;    ///< Last fleet-wide successful gen; mu_.
+  uint64_t acquire_seq_ = 0;   ///< Breaker cooldown clock; guarded by mu_.
+  std::atomic<double> capacity_fraction_{1.0};
+  FaultInjector* faults_ = nullptr;  ///< Non-owning; set before serving.
 };
 
 }  // namespace genbase::serving

@@ -236,13 +236,36 @@ void WorkloadReport::Print() const {
                   static_cast<long long>(serving.reloads),
                   static_cast<long long>(serving.stale_hits));
     }
+    // Fault-tolerance line only when that machinery actually engaged — the
+    // no-injector, no-retry configurations stay byte-stable.
+    if (serving.retry.retries > 0 || serving.retry.hedges > 0 ||
+        serving.retry.retry_deadline_giveups > 0 ||
+        serving.admission.shed_brownout > 0 || serving.faults.total() > 0) {
+      std::printf("  fault tolerance: retries=%lld (recovered=%lld, "
+                  "giveups=%lld) hedges=%lld (wins=%lld) "
+                  "shed_brownout=%lld injected=%lld\n",
+                  static_cast<long long>(serving.retry.retries),
+                  static_cast<long long>(serving.retry.retry_successes),
+                  static_cast<long long>(serving.retry.retry_deadline_giveups),
+                  static_cast<long long>(serving.retry.hedges),
+                  static_cast<long long>(serving.retry.hedge_wins),
+                  static_cast<long long>(serving.admission.shed_brownout),
+                  static_cast<long long>(serving.faults.total()));
+    }
     for (size_t s = 0; s < serving.shards.size(); ++s) {
       const serving::ShardStats& st = serving.shards[s];
-      std::printf("    shard %zu: ops=%lld busy=%ss err=%lld inf=%lld\n", s,
+      std::printf("    shard %zu: ops=%lld busy=%ss err=%lld inf=%lld", s,
                   static_cast<long long>(st.ops),
                   FormatSeconds(st.busy_s).c_str(),
                   static_cast<long long>(st.errors),
                   static_cast<long long>(st.infs));
+      if (st.breaker_opens > 0 ||
+          st.health != serving::ShardHealth::kHealthy) {
+        std::printf(" health=%s breaker_opens=%lld",
+                    serving::ShardHealthName(st.health),
+                    static_cast<long long>(st.breaker_opens));
+      }
+      std::printf("\n");
     }
   }
   std::printf("  %-14s %7s %6s %5s %5s %5s %9s %9s %9s  %9s %9s %9s\n",
@@ -462,6 +485,8 @@ std::string WorkloadReport::ToJson() const {
     out.push_back(',');
     AppendKv(&out, "shed_timeout", serving.admission.shed_timeout);
     out.push_back(',');
+    AppendKv(&out, "shed_brownout", serving.admission.shed_brownout);
+    out.push_back(',');
     AppendKv(&out, "peak_queue", serving.admission.peak_queue);
     out.push_back(',');
     AppendKv(&out, "current_limit", serving.admission.current_limit);
@@ -485,6 +510,27 @@ std::string WorkloadReport::ToJson() const {
     AppendKv(&out, "follower_fallbacks", serving.flight.follower_fallbacks);
     out.push_back(',');
     AppendKv(&out, "shed_wait_timeout", serving.flight.shed_wait_timeout);
+    out.append("},\"retry\":{");
+    AppendKv(&out, "retries", serving.retry.retries);
+    out.push_back(',');
+    AppendKv(&out, "retry_successes", serving.retry.retry_successes);
+    out.push_back(',');
+    AppendKv(&out, "retry_deadline_giveups",
+             serving.retry.retry_deadline_giveups);
+    out.push_back(',');
+    AppendKv(&out, "hedges", serving.retry.hedges);
+    out.push_back(',');
+    AppendKv(&out, "hedge_wins", serving.retry.hedge_wins);
+    out.append("},\"faults\":{");
+    AppendKv(&out, "crashes", serving.faults.crashes);
+    out.push_back(',');
+    AppendKv(&out, "recoveries", serving.faults.recoveries);
+    out.push_back(',');
+    AppendKv(&out, "latency_spikes", serving.faults.latency_spikes);
+    out.push_back(',');
+    AppendKv(&out, "transient_errors", serving.faults.transient_errors);
+    out.push_back(',');
+    AppendKv(&out, "reload_failures", serving.faults.reload_failures);
     out.append("},");
     AppendKv(&out, "stale_hits", serving.stale_hits);
     out.push_back(',');
@@ -500,6 +546,11 @@ std::string WorkloadReport::ToJson() const {
       AppendKv(&out, "infs", serving.shards[s].infs);
       out.push_back(',');
       AppendKv(&out, "busy_s", serving.shards[s].busy_s);
+      out.push_back(',');
+      AppendKv(&out, "breaker_opens", serving.shards[s].breaker_opens);
+      out.append(",\"health\":\"");
+      out.append(serving::ShardHealthName(serving.shards[s].health));
+      out.push_back('"');
       out.push_back('}');
     }
     out.append("]}");

@@ -92,7 +92,8 @@ void RecordOutcome(const WorkloadRunner::OpOutcome& outcome, bool mismatched,
 }
 
 /// Tail-based keep, per-client half: remember every flagged request (shed /
-/// stale tripwire / deadline miss / verify failure) up to a small cap, and
+/// stale tripwire / deadline miss / verify failure / retried / hedged) up to
+/// a small cap, and
 /// the client's slowest successful requests, so interesting tails survive
 /// even when head sampling skipped them.
 void KeepTailCandidates(const WorkloadRunner::OpOutcome& outcome,
@@ -105,7 +106,8 @@ void KeepTailCandidates(const WorkloadRunner::OpOutcome& outcome,
                       (!cell.supported || !cell.status.ok());
   const bool succeeded = !outcome.shed && !cell.infinite && !failed;
   const bool flagged = outcome.shed || outcome.stale_tripwire ||
-                       deadline_missed || mismatched;
+                       deadline_missed || mismatched || outcome.retries > 0 ||
+                       outcome.hedged;
   if (!flagged && !succeeded) return;
   const double e2e_s = outcome.queue_delay_s + cell.total_s +
                        outcome.stages[obs::RequestStage::kVerify];
@@ -124,6 +126,8 @@ void KeepTailCandidates(const WorkloadRunner::OpOutcome& outcome,
     rec.stale_tripwire = outcome.stale_tripwire;
     rec.deadline_missed = deadline_missed;
     rec.verify_failed = mismatched;
+    rec.retries = outcome.retries;
+    rec.hedged = outcome.hedged;
     return rec;
   };
   if (flagged) {
@@ -300,6 +304,8 @@ genbase::Result<WorkloadReport> WorkloadRunner::Run(
         outcome.queue_delay_s = served.admission_wait_s;
         outcome.stages = served.stages;
         outcome.stale_tripwire = served.stale_tripwire;
+        outcome.retries = served.retries;
+        outcome.hedged = served.hedged;
         return outcome;
       });
 }

@@ -14,7 +14,9 @@
 #include "core/verify.h"
 #include "engine/engines.h"
 #include "serving/admission.h"
+#include "serving/faults.h"
 #include "serving/result_cache.h"
+#include "serving/shard_router.h"
 #include "serving/serving_stack.h"
 #include "workload/runner.h"
 
@@ -878,6 +880,634 @@ TEST(ServingStackTest, ReloadWhileServingStaysCorrect) {
   EXPECT_EQ(report->total.shed(), 0);
   EXPECT_EQ(report->serving.stale_hits, 0);
   EXPECT_GE(report->serving.reloads, 1);
+}
+
+// --- fault scripts and retry policy -----------------------------------------
+
+TEST(FaultScriptTest, ParsesSeedPhasesWindowsAndComments) {
+  auto script = FaultScript::Parse(
+      "# fleet chaos drill\n"
+      "seed 42\n"
+      "@3 crash 1\n"
+      "phase fault\n"
+      "@0..40 error * 0.25  # any shard\n"
+      "@10..20 latency 2 0.004\n"
+      "@5 reload-fail 0\n"
+      "phase healed\n"
+      "@0 recover 1\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->seed, 42u);
+  ASSERT_EQ(script->phases.size(), 3u);
+  EXPECT_EQ(script->phases[0].name, "main");
+  ASSERT_EQ(script->phases[0].actions.size(), 1u);
+  EXPECT_EQ(script->phases[0].actions[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(script->phases[0].actions[0].shard, 1);
+  EXPECT_EQ(script->phases[0].actions[0].at_op, 3u);
+  EXPECT_EQ(script->phases[0].actions[0].until_op, 0u);  // Point action.
+  EXPECT_EQ(script->phases[1].name, "fault");
+  ASSERT_EQ(script->phases[1].actions.size(), 3u);
+  const FaultAction& error = script->phases[1].actions[0];
+  EXPECT_EQ(error.kind, FaultKind::kTransientError);
+  EXPECT_EQ(error.shard, -1);  // '*' = any shard.
+  EXPECT_EQ(error.at_op, 0u);
+  EXPECT_EQ(error.until_op, 40u);
+  EXPECT_DOUBLE_EQ(error.param, 0.25);
+  const FaultAction& spike = script->phases[1].actions[1];
+  EXPECT_EQ(spike.kind, FaultKind::kLatencySpike);
+  EXPECT_EQ(spike.shard, 2);
+  EXPECT_DOUBLE_EQ(spike.param, 0.004);
+  EXPECT_EQ(script->phases[2].name, "healed");
+  ASSERT_EQ(script->phases[2].actions.size(), 1u);
+  EXPECT_EQ(script->phases[2].actions[0].kind, FaultKind::kRecover);
+}
+
+TEST(FaultScriptTest, RejectsMalformedLines) {
+  for (const char* bad : {
+           "seed x",                // Non-numeric seed.
+           "@5 crash",              // Missing shard.
+           "@5..9 crash 1",         // Point action with a window.
+           "@5 error * 0.5",        // Window action without a window.
+           "@0..9 error * 1.5",     // Probability out of [0, 1].
+           "@0..9 latency * 0.01",  // Latency needs a concrete shard.
+           "@0..9 frobnicate 1 2",  // Unknown kind.
+           "crash 1",               // Missing @op.
+       }) {
+    EXPECT_FALSE(FaultScript::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicJitteredAndCapped) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_s = 0.001;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 0.010;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    // Pure in (seed, op, attempt): identical across calls and runs.
+    const double backoff = RetryBackoffSeconds(policy, 7, 13, attempt);
+    EXPECT_EQ(backoff, RetryBackoffSeconds(policy, 7, 13, attempt));
+    // Exponential base, capped, with jitter in [0.5, 1.0] x the base.
+    double base = policy.initial_backoff_s;
+    for (int i = 1; i < attempt && base < policy.max_backoff_s; ++i) {
+      base *= policy.backoff_multiplier;
+    }
+    base = std::min(base, policy.max_backoff_s);
+    EXPECT_GE(backoff, 0.5 * base) << attempt;
+    EXPECT_LE(backoff, base) << attempt;
+  }
+  // A pathological attempt count cannot overflow past the cap.
+  EXPECT_LE(RetryBackoffSeconds(policy, 7, 13, 1 << 30),
+            policy.max_backoff_s);
+  // Jitter decorrelates ops: one attempt number drawn across many ops
+  // spreads instead of thundering in lockstep.
+  std::set<double> draws;
+  for (uint64_t op = 0; op < 16; ++op) {
+    draws.insert(RetryBackoffSeconds(policy, 7, op, 3));
+  }
+  EXPECT_GT(draws.size(), 8u);
+}
+
+TEST(RetryPolicyTest, ScheduleRetryHonorsAttemptAndDeadlineBudgets) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  double backoff = -1.0;
+  // Attempt budget: after attempt 4 of 4 there is no retry left.
+  EXPECT_FALSE(ScheduleRetry(policy, 1, 1, 4, 1e9, &backoff));
+  // Within budget: grants exactly the deterministic backoff.
+  ASSERT_TRUE(ScheduleRetry(policy, 1, 1, 1, 1e9, &backoff));
+  EXPECT_EQ(backoff, RetryBackoffSeconds(policy, 1, 1, 1));
+  // Deadline budget: a backoff that does not fit is refused outright, so
+  // the caller gives up instead of sleeping past the deadline.
+  EXPECT_FALSE(ScheduleRetry(policy, 1, 1, 1, backoff / 2, &backoff));
+  // Property: for any (seed, op), the sum of granted backoffs never
+  // exceeds the starting budget — total retry wall-time is bounded by the
+  // request deadline by construction.
+  policy.max_attempts = 64;
+  for (uint64_t seed : {0u, 7u, 99u}) {
+    for (uint64_t op = 1; op <= 32; ++op) {
+      const double budget = 0.004;
+      double remaining = budget;
+      double total = 0.0;
+      double step = 0.0;
+      int attempt = 1;
+      while (ScheduleRetry(policy, seed, op, attempt, remaining, &step)) {
+        total += step;
+        remaining -= step;
+        ++attempt;
+      }
+      EXPECT_LE(total, budget + 1e-12) << "seed " << seed << " op " << op;
+    }
+  }
+}
+
+// --- fault injector ----------------------------------------------------------
+
+TEST(FaultInjectorTest, AppliesScheduleOnOpTicksAndPersistsCrashAcrossPhases) {
+  auto script = FaultScript::Parse(
+      "seed 5\n"
+      "@2 crash 1\n"
+      "@4..6 latency 0 0.004\n"
+      "phase second\n"
+      "@1 recover 1\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  auto injector = FaultInjector::Create(*script);
+  ASSERT_TRUE(injector.ok());
+  FaultInjector& faults = **injector;
+  EXPECT_TRUE(faults.enabled());
+
+  EXPECT_EQ(faults.OnServe(), 1u);
+  EXPECT_FALSE(faults.ShardCrashed(1));
+  EXPECT_EQ(faults.OnServe(), 2u);  // The crash applies exactly at its op.
+  EXPECT_TRUE(faults.ShardCrashed(1));
+  EXPECT_FALSE(faults.ShardCrashed(0));
+  EXPECT_DOUBLE_EQ(faults.ShardLatencySeconds(0), 0.0);
+  faults.OnServe();  // 3.
+  faults.OnServe();  // 4: the latency window [4, 6) opens.
+  EXPECT_DOUBLE_EQ(faults.ShardLatencySeconds(0), 0.004);
+  faults.OnServe();  // 5: still inside.
+  EXPECT_DOUBLE_EQ(faults.ShardLatencySeconds(0), 0.004);
+  faults.OnServe();  // 6: exclusive end — the spike is gone.
+  EXPECT_DOUBLE_EQ(faults.ShardLatencySeconds(0), 0.0);
+
+  // Phase boundary: windows die with their phase, crash state persists,
+  // and op indices restart (the recover scheduled at phase-local op 1
+  // fires on the next tick, not at global op 7).
+  ASSERT_TRUE(faults.AdvancePhase());
+  EXPECT_TRUE(faults.ShardCrashed(1));
+  EXPECT_EQ(faults.OnServe(), 1u);
+  EXPECT_FALSE(faults.ShardCrashed(1));
+  EXPECT_FALSE(faults.AdvancePhase());  // No third phase.
+
+  EXPECT_EQ(faults.injected(FaultKind::kCrash), 1);
+  EXPECT_EQ(faults.injected(FaultKind::kRecover), 1);
+  EXPECT_EQ(faults.injected(FaultKind::kLatencySpike), 1);
+  EXPECT_EQ(faults.injected_total(), 3);
+}
+
+TEST(FaultInjectorTest, TransientDrawsAndEventLogAreDeterministic) {
+  auto script = FaultScript::Parse("seed 11\n@0..1000 error * 0.5\n");
+  ASSERT_TRUE(script.ok());
+  auto replay_a = FaultInjector::Create(*script);
+  auto replay_b = FaultInjector::Create(*script);
+  ASSERT_TRUE(replay_a.ok() && replay_b.ok());
+  (*replay_a)->OnServe();  // Activates the window in both replicas.
+  (*replay_b)->OnServe();
+  int fired = 0;
+  bool attempts_differ = false;
+  for (uint64_t op = 1; op <= 64; ++op) {
+    const bool first = (*replay_a)->DrawTransientError(0, op, 1);
+    const bool second = (*replay_a)->DrawTransientError(0, op, 2);
+    // The replay draws identically, call for call.
+    EXPECT_EQ((*replay_b)->DrawTransientError(0, op, 1), first) << op;
+    EXPECT_EQ((*replay_b)->DrawTransientError(0, op, 2), second) << op;
+    fired += (first ? 1 : 0) + (second ? 1 : 0);
+    attempts_differ |= first != second;
+  }
+  // p=0.5 over 128 draws sits comfortably between "never" and "always" —
+  // and the draws are deterministic, so these bounds can never flake.
+  EXPECT_GT(fired, 32);
+  EXPECT_LT(fired, 96);
+  // The attempt number salts the draw: a faulted op is not doomed to fail
+  // every retry the same way.
+  EXPECT_TRUE(attempts_differ);
+  // Identical call sequences leave byte-identical event logs.
+  EXPECT_FALSE((*replay_a)->EventLog().empty());
+  EXPECT_EQ((*replay_a)->EventLog(), (*replay_b)->EventLog());
+  EXPECT_EQ((*replay_a)->injected(FaultKind::kTransientError),
+            (*replay_b)->injected(FaultKind::kTransientError));
+}
+
+TEST(FaultInjectorTest, ReloadFailureArmsAtItsOpAndIsConsumedOnce) {
+  auto script = FaultScript::Parse("seed 1\n@1 reload-fail 0\n");
+  ASSERT_TRUE(script.ok());
+  auto injector = FaultInjector::Create(*script);
+  ASSERT_TRUE(injector.ok());
+  FaultInjector& faults = **injector;
+  // Not armed until the scheduled op ticks.
+  EXPECT_FALSE(faults.ConsumeReloadFailure(0));
+  faults.OnServe();
+  EXPECT_FALSE(faults.ConsumeReloadFailure(1));  // Wrong shard.
+  EXPECT_TRUE(faults.ConsumeReloadFailure(0));
+  EXPECT_FALSE(faults.ConsumeReloadFailure(0));  // Already consumed.
+  EXPECT_EQ(faults.injected(FaultKind::kReloadFailure), 1);
+}
+
+// --- failure-aware routing and the circuit breaker ---------------------------
+
+TEST(ShardRouterTest, CrashedShardIsRoutedAroundUntilRecovery) {
+  auto script = FaultScript::Parse("seed 9\n@1 crash 0\n@5 recover 0\n");
+  ASSERT_TRUE(script.ok());
+  auto injector = FaultInjector::Create(*script);
+  ASSERT_TRUE(injector.ok());
+  auto router = ShardRouter::Create(2, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  (*router)->SetFaultInjector(injector->get());
+  ExecContext ctx;
+
+  (*injector)->OnServe();  // Op 1: shard 0 goes down.
+  for (uint64_t op = 2; op <= 4; ++op) {
+    (*injector)->OnServe();
+    const int s = (*router)->AcquireShard();
+    EXPECT_EQ(s, 1) << op;  // JSQ would tie to shard 0; down skips it.
+    const auto cell = (*router)->RunOnShard(
+        s, core::QueryId::kStatistics, core::DatasetSize::kSmall,
+        TinyOptions(), &ctx, nullptr, op, 1);
+    EXPECT_TRUE(cell.status.ok()) << cell.status.ToString();
+  }
+  EXPECT_EQ((*router)->capacity_fraction(), 0.5);
+  const auto stats = (*router)->stats();
+  EXPECT_EQ(stats[0].health, ShardHealth::kDown);
+  EXPECT_EQ(stats[0].ops, 0);
+  EXPECT_EQ(stats[1].ops, 3);
+
+  (*injector)->OnServe();  // Op 5: recover.
+  const int healed = (*router)->AcquireShard();
+  EXPECT_EQ(healed, 0);  // Ties go to the lowest id again.
+  const auto cell = (*router)->RunOnShard(
+      healed, core::QueryId::kStatistics, core::DatasetSize::kSmall,
+      TinyOptions(), &ctx, nullptr, 5, 1);
+  EXPECT_TRUE(cell.status.ok());
+  EXPECT_EQ((*router)->capacity_fraction(), 1.0);
+}
+
+TEST(ShardRouterTest, AllShardsDownFailsFastInsteadOfHanging) {
+  auto script = FaultScript::Parse("seed 9\n@1 crash 0\n@1 crash 1\n");
+  ASSERT_TRUE(script.ok());
+  auto injector = FaultInjector::Create(*script);
+  ASSERT_TRUE(injector.ok());
+  auto router = ShardRouter::Create(2, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(router.ok());
+  (*router)->SetFaultInjector(injector->get());
+  ExecContext ctx;
+
+  (*injector)->OnServe();  // Both shards down.
+  const int s = (*router)->AcquireShard();  // Least-loaded down shard.
+  const auto cell = (*router)->RunOnShard(
+      s, core::QueryId::kStatistics, core::DatasetSize::kSmall, TinyOptions(),
+      &ctx, nullptr, 1, 1);
+  // Fails fast with an error instead of touching the engine or blocking —
+  // the caller's retry budget stays spendable on a recovery.
+  EXPECT_FALSE(cell.status.ok());
+  EXPECT_EQ((*router)->capacity_fraction(), 0.0);
+  EXPECT_EQ((*router)->stats()[static_cast<size_t>(s)].errors, 1);
+  EXPECT_EQ((*injector)->injected(FaultKind::kCrash), 2);
+}
+
+TEST(ShardRouterTest, BreakerOpensGoesHalfOpenAndClosesOnSuccess) {
+  // Phase 'err' makes every execute on shard 0 fail; phase 'clean' clears
+  // the window so the half-open probe can succeed.
+  auto script = FaultScript::Parse(
+      "seed 3\nphase err\n@0..100000 error 0 1\nphase clean\n");
+  ASSERT_TRUE(script.ok());
+  auto injector = FaultInjector::Create(*script);
+  ASSERT_TRUE(injector.ok());
+  auto router = ShardRouter::Create(2, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(router.ok());
+  (*router)->SetFaultInjector(injector->get());
+  ExecContext ctx;
+
+  // Three consecutive injected errors on shard 0 open its breaker.
+  for (int i = 0; i < ShardRouter::kBreakerErrorThreshold; ++i) {
+    const uint64_t op = (*injector)->OnServe();
+    const int s = (*router)->AcquireShard(/*exclude=*/1);
+    ASSERT_EQ(s, 0);
+    const auto cell = (*router)->RunOnShard(
+        s, core::QueryId::kStatistics, core::DatasetSize::kSmall,
+        TinyOptions(), &ctx, nullptr, op, 1);
+    EXPECT_FALSE(cell.status.ok());
+  }
+  const auto opened = (*router)->stats();
+  EXPECT_EQ(opened[0].health, ShardHealth::kDown);
+  EXPECT_EQ(opened[0].breaker_opens, 1);
+  EXPECT_EQ((*router)->capacity_fraction(), 0.5);
+
+  // The cooldown clock is fleet-wide acquires. Serve the cooldown's worth
+  // of traffic on the healthy replica; the final acquire flips the breaker
+  // half-open (degraded: probed again, at the back of the queue).
+  ASSERT_TRUE((*injector)->AdvancePhase());  // 'clean': error window gone.
+  for (uint64_t i = 0; i < ShardRouter::kBreakerCooldownOps; ++i) {
+    const uint64_t op = (*injector)->OnServe();
+    const int s = (*router)->AcquireShard();
+    EXPECT_EQ(s, 1);
+    const auto cell = (*router)->RunOnShard(
+        s, core::QueryId::kStatistics, core::DatasetSize::kSmall,
+        TinyOptions(), &ctx, nullptr, op, 1);
+    EXPECT_TRUE(cell.status.ok());
+  }
+  EXPECT_EQ((*router)->stats()[0].health, ShardHealth::kDegraded);
+
+  // One successful probe closes the breaker for good.
+  const uint64_t op = (*injector)->OnServe();
+  const int probe = (*router)->AcquireShard(/*exclude=*/1);
+  EXPECT_EQ(probe, 0);
+  const auto cell = (*router)->RunOnShard(
+      probe, core::QueryId::kStatistics, core::DatasetSize::kSmall,
+      TinyOptions(), &ctx, nullptr, op, 1);
+  EXPECT_TRUE(cell.status.ok());
+  const auto healed = (*router)->stats();
+  EXPECT_EQ(healed[0].health, ShardHealth::kHealthy);
+  EXPECT_EQ(healed[0].breaker_opens, 1);
+  EXPECT_EQ((*router)->capacity_fraction(), 1.0);
+}
+
+// --- brown-out degradation ---------------------------------------------------
+
+TEST(AdaptiveAdmissionTest, BrownOutShedsHeavyArrivalsAndSparesCheap) {
+  AdmissionOptions options;
+  options.adaptive = true;
+  options.min_inflight = 4;
+  options.heavy_share = 0.5;
+  options.adjust_interval = 1000;  // Keep the limit fixed for the test.
+  AdmissionController ac(options);
+  constexpr int kCheap = 1;
+  constexpr int kHeavy = 3;
+  // Teach the class model: cheap at ~1ms, heavy at ~50ms.
+  for (int i = 0; i < 5; ++i) {
+    bool heavy = false;
+    ASSERT_EQ(ac.Admit(std::nullopt, nullptr, kCheap, &heavy),
+              AdmissionOutcome::kAdmitted);
+    ac.Release(kCheap, 0.001, heavy);
+    ASSERT_EQ(ac.Admit(std::nullopt, nullptr, kHeavy, &heavy),
+              AdmissionOutcome::kAdmitted);
+    ac.Release(kHeavy, 0.050, heavy);
+  }
+
+  // Brown-out: at 40% fleet capacity the heavy cap (4 slots x 0.5 share x
+  // 0.4) rounds to zero, so heavy arrivals shed on arrival instead of
+  // queueing against the cheap traffic that still fits.
+  ac.SetCapacityFactor(0.4);
+  bool heavy = false;
+  EXPECT_EQ(ac.Admit(std::nullopt, nullptr, kHeavy, &heavy),
+            AdmissionOutcome::kShedQueueFull);
+  EXPECT_EQ(ac.Admit(std::nullopt, nullptr, kCheap, &heavy),
+            AdmissionOutcome::kAdmitted);
+  EXPECT_FALSE(heavy);
+  ac.Release(kCheap, 0.001, heavy);
+  const AdmissionStats browned = ac.stats();
+  EXPECT_EQ(browned.shed_brownout, 1);
+  EXPECT_EQ(browned.shed_queue_full, 1);  // Attribution is a subset count.
+
+  // Capacity restored: heavy flows again (the cap floors at one slot at
+  // full health).
+  ac.SetCapacityFactor(1.0);
+  EXPECT_EQ(ac.Admit(std::nullopt, nullptr, kHeavy, &heavy),
+            AdmissionOutcome::kAdmitted);
+  EXPECT_TRUE(heavy);
+  ac.Release(kHeavy, 0.050, heavy);
+  EXPECT_EQ(ac.stats().shed_brownout, 1);
+}
+
+// --- fault tolerance through the stack ---------------------------------------
+
+TEST(ServingStackTest, RetriesRecoverFromInjectedTransientErrors) {
+  auto script = FaultScript::Parse("seed 21\n@0..100000 error * 0.4\n");
+  ASSERT_TRUE(script.ok());
+  auto injector = FaultInjector::Create(*script);
+  ASSERT_TRUE(injector.ok());
+
+  ServingOptions options;
+  options.shards = 2;
+  options.cache_enabled = false;  // A hit never reaches the fault machinery.
+  options.retry.max_attempts = 6;
+  options.retry.initial_backoff_s = 1e-4;
+  options.retry.max_backoff_s = 1e-3;
+  options.fault_injector = injector->get();
+  auto stack = ServingStack::Create(options, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(stack.ok());
+
+  ExecContext ctx;
+  int64_t errors = 0;
+  int64_t retried_ops = 0;
+  for (int i = 0; i < 12; ++i) {
+    const auto result = (*stack)->Serve(core::QueryId::kStatistics,
+                                        core::DatasetSize::kSmall,
+                                        TinyOptions(), &ctx);
+    EXPECT_FALSE(result.shed);
+    errors += result.cell.status.ok() ? 0 : 1;
+    retried_ops += result.retries > 0 ? 1 : 0;
+  }
+  const ServingCounters counters = (*stack)->counters();
+  // A 40% per-attempt error rate against a 6-attempt budget: every op
+  // recovers. Deterministic — the draws are pure in (seed, op, attempt,
+  // shard), so this can never flake.
+  EXPECT_EQ(errors, 0);
+  EXPECT_GT(retried_ops, 0);
+  EXPECT_EQ(counters.retry.retry_successes, retried_ops);
+  // No deadline configured, no op exhausted its attempts: every injected
+  // failure was paid for with exactly one retry.
+  EXPECT_EQ(counters.retry.retries,
+            (*injector)->injected(FaultKind::kTransientError));
+  EXPECT_EQ(counters.retry.retry_deadline_giveups, 0);
+  EXPECT_EQ(counters.faults.transient_errors,
+            (*injector)->injected(FaultKind::kTransientError));
+}
+
+TEST(ServingStackTest, RetryBudgetIsBoundedByTheStartDeadline) {
+  auto script = FaultScript::Parse("seed 23\n@0..100000 error * 1\n");
+  ASSERT_TRUE(script.ok());
+  auto injector = FaultInjector::Create(*script);
+  ASSERT_TRUE(injector.ok());
+
+  ServingOptions options;
+  options.shards = 2;
+  options.cache_enabled = false;
+  options.admission.max_inflight = 4;
+  options.admission.max_queue = 4;
+  options.admission.max_queue_delay_s = 0.01;  // 10ms start budget.
+  options.retry.max_attempts = 8;
+  options.retry.initial_backoff_s = 0.1;  // Min jittered backoff: 50ms.
+  options.retry.max_backoff_s = 0.1;
+  options.fault_injector = injector->get();
+  auto stack = ServingStack::Create(options, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(stack.ok());
+
+  ExecContext ctx;
+  const auto result = (*stack)->Serve(core::QueryId::kStatistics,
+                                      core::DatasetSize::kSmall, TinyOptions(),
+                                      &ctx);
+  // Every attempt fails by script, and the first retry's backoff alone
+  // exceeds the whole 10ms budget: the op errors out with zero retries
+  // rather than sleeping past its deadline.
+  EXPECT_FALSE(result.shed);
+  EXPECT_FALSE(result.cell.status.ok());
+  EXPECT_EQ(result.retries, 0);
+  const ServingCounters counters = (*stack)->counters();
+  EXPECT_EQ(counters.retry.retries, 0);
+  EXPECT_EQ(counters.retry.retry_deadline_giveups, 1);
+}
+
+TEST(ServingStackTest, InjectedReloadFailureQuarantinesThenHeals) {
+  auto script = FaultScript::Parse("seed 31\n@1 reload-fail 0\n");
+  ASSERT_TRUE(script.ok());
+  auto injector = FaultInjector::Create(*script);
+  ASSERT_TRUE(injector.ok());
+
+  ServingOptions options = CacheOnlyOptions(2);
+  options.fault_injector = injector->get();
+  auto stack = ServingStack::Create(options, engine::CreateSciDb, TinyData());
+  ASSERT_TRUE(stack.ok());
+  ExecContext ctx;
+
+  // One serve ticks the script (arming the failure) and fills the cache.
+  const auto first = (*stack)->Serve(core::QueryId::kRegression,
+                                     core::DatasetSize::kSmall, TinyOptions(),
+                                     &ctx);
+  ASSERT_TRUE(first.cell.status.ok());
+  const uint64_t epoch0 = (*stack)->current_epoch();
+
+  // Mid-roll failure: shard 0's load fails, the roll aborts, the epoch
+  // stays pinned to the old generation, and shard 0 is quarantined.
+  EXPECT_FALSE((*stack)->ReloadDataset(TinyData()).ok());
+  EXPECT_EQ((*stack)->current_epoch(), epoch0);
+  EXPECT_EQ((*stack)->counters().shards[0].health, ShardHealth::kDown);
+
+  // The fleet keeps serving through the window: old-generation cache
+  // entries are still valid (the epoch never moved), and new work routes
+  // to the surviving replica.
+  const auto hit = (*stack)->Serve(core::QueryId::kRegression,
+                                   core::DatasetSize::kSmall, TinyOptions(),
+                                   &ctx);
+  EXPECT_TRUE(hit.cache_hit);
+  const auto routed = (*stack)->Serve(core::QueryId::kStatistics,
+                                      core::DatasetSize::kSmall, TinyOptions(),
+                                      &ctx);
+  ASSERT_TRUE(routed.cell.status.ok());
+  EXPECT_EQ(routed.shard, 1);
+
+  // The next roll succeeds (the armed failure was consumed), advances the
+  // epoch, and heals the quarantined shard — with zero stale hits anywhere.
+  ASSERT_TRUE((*stack)->ReloadDataset(TinyData()).ok());
+  EXPECT_EQ((*stack)->current_epoch(), epoch0 + 1);
+  const ServingCounters counters = (*stack)->counters();
+  EXPECT_EQ(counters.shards[0].health, ShardHealth::kHealthy);
+  EXPECT_EQ(counters.stale_hits, 0);
+  EXPECT_EQ(counters.reloads, 1);  // Only completed rolls count.
+  EXPECT_EQ(counters.faults.reload_failures, 1);
+  EXPECT_EQ((*injector)->injected(FaultKind::kReloadFailure), 1);
+}
+
+/// Wraps a real engine but parks RunQuery on a gate and fails it while
+/// `failing` is up — for orchestrating single-flight leader failures with
+/// controlled timing.
+class GatedErrorEngine : public core::Engine {
+ public:
+  static std::atomic<bool>& failing() {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+  static std::atomic<bool>& release() {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+  static std::atomic<int>& entered() {
+    static std::atomic<int> count{0};
+    return count;
+  }
+
+  GatedErrorEngine() : inner_(engine::CreateSciDb()) {}
+  std::string name() const override { return inner_->name(); }
+  bool SupportsQuery(core::QueryId query) const override {
+    return inner_->SupportsQuery(query);
+  }
+  void PrepareContext(ExecContext* ctx) override {
+    inner_->PrepareContext(ctx);
+  }
+  genbase::Result<core::QueryResult> RunQuery(
+      core::QueryId query, const core::QueryParams& params,
+      ExecContext* ctx) override {
+    if (!failing().load()) return inner_->RunQuery(query, params, ctx);
+    entered().fetch_add(1);
+    while (!release().load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return genbase::Status::Internal("gated failure");
+  }
+
+ protected:
+  genbase::Status DoLoadDataset(const core::GenBaseData& data) override {
+    return inner_->LoadDataset(data);
+  }
+  void DoUnloadDataset() override { inner_->UnloadDataset(); }
+
+ private:
+  std::unique_ptr<core::Engine> inner_;
+};
+
+TEST(ServingStackTest, FollowerFallbackKeepsTheOriginalDeadline) {
+  GatedErrorEngine::failing() = true;
+  GatedErrorEngine::release() = false;
+  GatedErrorEngine::entered() = 0;
+
+  ServingOptions options;
+  options.shards = 2;
+  options.cache_enabled = true;
+  options.single_flight = true;
+  options.admission.max_inflight = 4;
+  options.admission.max_queue = 4;
+  options.admission.max_queue_delay_s = 1.0;  // 1s start budget per op.
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff_s = 1.0;  // Min jittered backoff: 0.5s.
+  options.retry.max_backoff_s = 1.0;
+  auto stack = ServingStack::Create(
+      options, [] { return std::make_unique<GatedErrorEngine>(); },
+      TinyData());
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+
+  ServeResult leader_result;
+  ExecContext leader_ctx;
+  std::thread leader([&] {
+    leader_result = (*stack)->Serve(core::QueryId::kSvd,
+                                    core::DatasetSize::kSmall, TinyOptions(),
+                                    &leader_ctx);
+  });
+  // Wait until the leader is parked inside the engine, then send in a
+  // follower on the same key; it joins the leader's flight.
+  while (GatedErrorEngine::entered().load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ServeResult follower_result;
+  ExecContext follower_ctx;
+  std::thread follower([&] {
+    follower_result = (*stack)->Serve(core::QueryId::kSvd,
+                                      core::DatasetSize::kSmall, TinyOptions(),
+                                      &follower_ctx);
+  });
+  while ((*stack)->counters().flight.coalesced == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Burn ~80% of the follower's budget on the gate, then fail the leader.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  GatedErrorEngine::release() = true;
+  leader.join();
+  follower.join();
+  GatedErrorEngine::failing() = false;
+
+  // The leader's only attempt failed; with ~0.2s of budget left, the 0.5s+
+  // backoff does not fit, so it gave up instead of retrying.
+  EXPECT_FALSE(leader_result.cell.status.ok());
+  EXPECT_EQ(leader_result.retries, 0);
+  // The follower fell back to its own execution — on the op's ORIGINAL
+  // deadline. A fresh 1s budget would have granted its retry; the ~0.2s
+  // actually left did not, so it too failed without retrying.
+  EXPECT_FALSE(follower_result.shed);
+  EXPECT_FALSE(follower_result.cell.status.ok());
+  EXPECT_FALSE(follower_result.cache_hit);
+  EXPECT_EQ(follower_result.retries, 0);
+
+  const ServingCounters counters = (*stack)->counters();
+  EXPECT_EQ(counters.flight.leaders, 1);
+  EXPECT_EQ(counters.flight.coalesced, 1);
+  EXPECT_EQ(counters.flight.follower_fallbacks, 1);
+  // Every follower is accounted exactly once across the three outcomes.
+  EXPECT_EQ(counters.flight.coalesced,
+            counters.flight.coalesced_served +
+                counters.flight.follower_fallbacks +
+                counters.flight.shed_wait_timeout);
+  EXPECT_EQ(counters.retry.retries, 0);
+  EXPECT_EQ(counters.retry.retry_deadline_giveups, 2);
+  int64_t executed = 0;
+  for (const auto& shard : counters.shards) executed += shard.ops;
+  EXPECT_EQ(executed, 2);  // One leader attempt + one follower fallback.
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """genbase_check: repo-specific lint invariants for src/.
 
-Four rules, each encoding a convention the concurrent serving/obs stack
+Five rules, each encoding a convention the concurrent serving/obs stack
 depends on but that neither the compiler nor clang-tidy enforces:
 
   atomic-memory-order   Every std::atomic load/store/RMW names an explicit
@@ -23,6 +23,15 @@ depends on but that neither the compiler nor clang-tidy enforces:
                         invariants use GENBASE_CHECK (which prints
                         file:line before aborting and is greppable),
                         runtime conditions use Status/Result.
+  fault-hook-guard      Every FaultInjector hook call (OnServe,
+                        ShardCrashed, ShardLatencySeconds,
+                        DrawTransientError, ConsumeReloadFailure) in
+                        src/serving/ outside faults.{h,cc} must sit inside
+                        a scope guarded by an `enabled()` check. The
+                        injector's no-fault fast path is one relaxed atomic
+                        load; calling a hook unguarded either crashes on
+                        the null default or silently pays mutex/tick costs
+                        on every production op.
 
 Waivers: a finding on line N is waived by a comment on line N or N-1 of the
 form
@@ -46,6 +55,7 @@ RULES = (
     "raw-new-delete",
     "mutex-across-run",
     "no-bare-assert",
+    "fault-hook-guard",
 )
 
 ATOMIC_METHODS = (
@@ -69,6 +79,9 @@ ABORT_RE = re.compile(r"(?:\bstd::)?\babort\s*\(")
 LOCK_DECL_RE = re.compile(
     r"\b(?:std::)?(lock_guard|unique_lock|scoped_lock|shared_lock)\s*[<(]")
 RUN_CALL_RE = re.compile(r"(?:\.|->)(Run\w*|Serve)\s*\(")
+FAULT_HOOK_RE = re.compile(
+    r"(?:\.|->)(OnServe|ShardCrashed|ShardLatencySeconds|DrawTransientError|"
+    r"ConsumeReloadFailure)\s*\(")
 WAIVER_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)\s*:\s*(\S.*)")
 # Block-comment variant for macro bodies, where a // comment would splice
 # the continuation backslash into the comment.
@@ -215,11 +228,66 @@ def check_mutex_across_run(path, code):
                     f"{lock_line} — release before executing")
 
 
+def check_fault_hook_guard(path, code):
+    """Flags FaultInjector hook calls outside an enabled()-guarded scope.
+
+    Scope model mirrors check_mutex_across_run: an `if (...)` whose
+    condition mentions enabled() guards its braced block (tracked by brace
+    depth), its brace-less statement (up to the next ';'), and the
+    condition text itself (so `f->enabled() && f->ShardCrashed(s)`
+    short-circuits count). Applies only to src/serving/ and exempts the
+    injector's own files, where the hooks are defined and self-call.
+    """
+    norm = str(path).replace("\\", "/")
+    if "src/serving/" not in norm or norm.endswith(("/faults.h",
+                                                    "/faults.cc")):
+        return
+    depth = 0
+    guard_depths = []    # brace depths of open enabled()-guarded blocks
+    guarded_spans = []   # (start, end) ranges guarded without a brace scope
+    expected_brace = -1  # position of the '{' opening a pending guard block
+    for m in re.finditer(r"[{}]|\bif\s*\(|" + FAULT_HOOK_RE.pattern, code):
+        tok = m.group(0)
+        if tok == "{":
+            depth += 1
+            if m.start() == expected_brace:
+                guard_depths.append(depth)
+                expected_brace = -1
+        elif tok == "}":
+            depth -= 1
+            guard_depths = [d for d in guard_depths if d <= depth]
+        elif tok.startswith("if"):
+            open_paren = m.end() - 1
+            cond = balanced_args(code, open_paren)
+            if "enabled" not in cond:
+                continue
+            close = open_paren + 1 + len(cond)  # position of ')'
+            guarded_spans.append((open_paren, close))
+            j = close + 1
+            while j < len(code) and code[j].isspace():
+                j += 1
+            if j < len(code) and code[j] == "{":
+                expected_brace = j
+            else:  # Brace-less guarded statement.
+                stmt_end = code.find(";", close)
+                guarded_spans.append(
+                    (close, stmt_end if stmt_end != -1 else len(code)))
+        else:  # Hook call.
+            pos = m.start()
+            if guard_depths or any(a <= pos < b for a, b in guarded_spans):
+                continue
+            yield Finding(
+                path, line_of(code, pos), "fault-hook-guard",
+                f"FaultInjector::{m.group(1)}() outside an enabled() guard "
+                "— wrap in `if (faults != nullptr && faults->enabled())`")
+
+
 def scan_file(path):
     text = path.read_text(encoding="utf-8")
     code, waivers = strip_comments_and_strings(text)
     findings = []
-    checkers = [check_atomics, check_new_delete, check_mutex_across_run]
+    checkers = [check_atomics, check_new_delete, check_mutex_across_run,
+                check_fault_hook_guard]
     # check.h implements GENBASE_CHECK itself; its aborts are the sanctioned
     # ones and carry inline waivers, which the generic path below honors.
     checkers.append(check_assert_abort)
