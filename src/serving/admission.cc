@@ -128,10 +128,12 @@ int AdmissionController::HeavyCapLocked() const {
   const double factor = capacity_factor_.load(std::memory_order_relaxed);
   const int cap = static_cast<int>(limit_ * options_.heavy_share *
                                    std::clamp(factor, 0.0, 1.0));
-  // At full capacity heavy classes always keep one slot; in a brown-out the
-  // cap may shrink to zero — heavy arrivals are then shed on arrival (see
-  // Admit) so cheap traffic inherits the surviving capacity.
-  return factor >= 1.0 ? std::max(1, cap) : std::max(0, cap);
+  // Above the brown-out threshold heavy classes always keep one slot (mild
+  // degradation shrinks the cap proportionally at most); in a brown-out
+  // the cap may shrink to zero — heavy arrivals are then shed on arrival
+  // (see Admit) so cheap traffic inherits the surviving capacity.
+  return factor >= options_.brownout_shed_factor ? std::max(1, cap)
+                                                 : std::max(0, cap);
 }
 
 int AdmissionController::MaxQueueLocked() const {
@@ -174,12 +176,15 @@ AdmissionOutcome AdmissionController::Admit(
   // reclassified mid-wait).
   const bool heavy = IsHeavyLocked(class_id);
   if (!CanStartLocked(heavy)) {
-    // Brown-out: with the fleet degraded, a heavy arrival that cannot start
-    // is shed immediately rather than queued — queueing it would make it
-    // compete with cheap ops for the shrunken capacity, which is exactly the
-    // priority inversion graceful degradation exists to prevent.
-    if (heavy &&
-        capacity_factor_.load(std::memory_order_relaxed) < 1.0) {
+    // Brown-out: with the fleet meaningfully degraded (factor below the
+    // engagement threshold — the same bar that may zero the heavy cap), a
+    // heavy arrival that cannot start is shed immediately rather than
+    // queued — queueing it would make it compete with cheap ops for the
+    // shrunken capacity, which is exactly the priority inversion graceful
+    // degradation exists to prevent. Milder degradation keeps the normal
+    // queueing path: the cap shrinks proportionally, nothing cliffs.
+    if (heavy && capacity_factor_.load(std::memory_order_relaxed) <
+                     options_.brownout_shed_factor) {
       shed_queue_full_->Inc();
       shed_brownout_->Inc();
       ShedCounterLocked(class_id)->Inc();

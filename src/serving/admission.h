@@ -71,6 +71,16 @@ struct AdmissionOptions {
   /// completions (the estimate compounds by up to this factor each
   /// update). <= 1 disables the clamp.
   double service_outlier_cap = 4.0;
+  /// Brown-out engagement threshold: graceful degradation turns on only
+  /// when the published capacity factor (see SetCapacityFactor) drops
+  /// below this fraction — the heavy-class slot cap then loses its
+  /// one-slot floor and heavy arrivals that cannot start immediately are
+  /// shed instead of queued. Mild degradation above the threshold (one
+  /// slow shard in a large fleet, 31.5/32 = 0.984) only shrinks the cap
+  /// proportionally; heavy traffic still queues normally, so there is no
+  /// shed-on-arrival cliff the moment the factor dips under 1.0. The
+  /// default engages once the fleet has lost >= 10% serving capacity.
+  double brownout_shed_factor = 0.9;
   /// Classification hysteresis: a class is treated as heavy only after
   /// this many consecutive *samples* observed above the
   /// heavy_service_factor threshold. The streak judges fresh samples,
@@ -153,12 +163,14 @@ class AdmissionController {
 
   /// Brown-out wiring: the serving stack pushes the router's serving
   /// capacity fraction (healthy=1, degraded=0.5, down=0 per shard, averaged)
-  /// here. Below 1.0 the heavy-class slot cap shrinks proportionally (floor
-  /// 0) and heavy arrivals that cannot start are shed immediately instead of
-  /// queueing — heavy classes pay for the lost capacity first, so cheap Q1
-  /// traffic keeps its SLO through the brown-out. 1.0 (the default) is
-  /// byte-for-byte the pre-fault behavior. Clamped to [0, 1]; cheap (a
-  /// relaxed atomic exchange) so the stack may call it every serve.
+  /// here. Below 1.0 the heavy-class slot cap shrinks proportionally;
+  /// below `brownout_shed_factor` the cap additionally loses its one-slot
+  /// floor and heavy arrivals that cannot start are shed immediately
+  /// instead of queueing — heavy classes pay for the lost capacity first,
+  /// so cheap Q1 traffic keeps its SLO through the brown-out. 1.0 (the
+  /// default) is byte-for-byte the pre-fault behavior. Clamped to [0, 1];
+  /// cheap (a relaxed atomic exchange) so the stack may call it every
+  /// serve.
   void SetCapacityFactor(double factor);
   double capacity_factor() const {
     return capacity_factor_.load(std::memory_order_relaxed);

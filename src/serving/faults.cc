@@ -110,6 +110,11 @@ genbase::Result<FaultScript> FaultScript::Parse(std::string_view text) {
   FaultScript script;
   FaultPhase current;
   current.name = "main";
+  // Every named phase is kept, even when empty — an action-free phase is a
+  // deliberate fault-free run (e.g. a pre-fault baseline). Only the
+  // implicit "main" preamble is dropped when the script opens with a
+  // phase directive before any action.
+  bool named_phase = false;
   int line_no = 0;
   size_t pos = 0;
   while (pos <= text.size()) {
@@ -134,9 +139,10 @@ genbase::Result<FaultScript> FaultScript::Parse(std::string_view text) {
     }
     if (tok[0] == "phase") {
       if (tok.size() != 2) return fail("expected 'phase <name>'");
-      if (!current.actions.empty() || !script.phases.empty()) {
+      if (named_phase || !current.actions.empty()) {
         script.phases.push_back(std::move(current));
       }
+      named_phase = true;
       current = FaultPhase{};
       current.name = std::string(tok[1]);
       continue;
@@ -174,6 +180,9 @@ genbase::Result<FaultScript> FaultScript::Parse(std::string_view text) {
     }
     current.actions.push_back(action);
   }
+  // EOF closes the last phase unconditionally — a trailing empty named
+  // phase is kept, and an entirely empty script keeps its empty "main" so
+  // callers always see >= 1 phase.
   script.phases.push_back(std::move(current));
   return script;
 }

@@ -343,12 +343,20 @@ ServeResult ServingStack::ExecuteMiss(
                                          std::chrono::steady_clock::now())
         .count();
   };
+  // Injected-spike snapshot for the most recent attempt, captured inside
+  // run_attempt at execution time. The hedge decision reads this snapshot
+  // rather than the injector's live state: a spike window that opens or
+  // closes between the attempt and the hedge check must not change what
+  // counts as a slow attempt, or hedge counters drift across replays of
+  // the same fault seed.
+  double attempt_spike_s = 0.0;
   // One execute attempt on one shard: dispatch span (acquire), execute span
   // (engine run + PhaseClock child spans), injected latency spike charged
   // as modeled glue. `exclude` routes the attempt away from a shard a
   // previous attempt failed on (or, for a hedge, the primary's shard).
   const auto run_attempt = [&](int exclude, int attempt, const char* label,
                                int* shard_out, uint64_t* epoch_out) {
+    attempt_spike_s = 0.0;
     {
       obs::ScopedSpan dispatch_span("dispatch");
       const double dispatch_cpu_begin = obs::Profiler::CpuBegin();
@@ -391,9 +399,9 @@ ServeResult ServingStack::ExecuteMiss(
     if (faults != nullptr && faults->enabled()) {
       // Slow-shard brown-out: the injected spike is virtual time, folded in
       // exactly like the network model so totals and deadlines see it.
-      const double spike_s = faults->ShardLatencySeconds(*shard_out);
-      if (spike_s > 0.0 && cell.status.ok()) {
-        ChargeModeledGlue(&cell, spike_s, options.timeout_seconds);
+      attempt_spike_s = faults->ShardLatencySeconds(*shard_out);
+      if (attempt_spike_s > 0.0 && cell.status.ok()) {
+        ChargeModeledGlue(&cell, attempt_spike_s, options.timeout_seconds);
       }
     }
     return cell;
@@ -436,9 +444,12 @@ ServeResult ServingStack::ExecuteMiss(
     previous_shard = result.shard;
     ++attempt;
   }
-  bool interim_servable = result.cell.supported && result.cell.status.ok() &&
-                          !result.cell.infinite;
-  if (any_attempt_failed && interim_servable) retry_successes_->Inc();
+  // Interim verdict only — retry_successes_ is counted below from the
+  // final verdict, after the retry/hedge overhead and network charges have
+  // had their chance to flip the cell to DeadlineExceeded.
+  const bool interim_servable = result.cell.supported &&
+                                result.cell.status.ok() &&
+                                !result.cell.infinite;
 
   // Hedged request: cheap classes only, and only when the served attempt
   // came back slow — over the class's service EWMA threshold, or from a
@@ -452,12 +463,8 @@ ServeResult ServingStack::ExecuteMiss(
         admission_.ClassServiceEwma(static_cast<int>(query));
     const double real_s =
         std::max(0.0, result.cell.total_s - result.cell.modeled_s);
-    double spike_s = 0.0;
-    if (faults != nullptr && faults->enabled()) {
-      spike_s = faults->ShardLatencySeconds(result.shard);
-    }
     const bool slow =
-        spike_s > 0.0 ||
+        attempt_spike_s > 0.0 ||
         (class_ewma_s > 0.0 &&
          real_s > retry.hedge_threshold_factor * class_ewma_s);
     if (slow) {
@@ -513,6 +520,10 @@ ServeResult ServingStack::ExecuteMiss(
   result.stages[obs::RequestStage::kExecute] = exec_stage_s;
   const bool servable = result.cell.supported && result.cell.status.ok() &&
                         !result.cell.infinite;
+  // A retry success is an op that failed at least once yet is ultimately
+  // served — judged on the final cell, so an op the overhead charges pushed
+  // past its deadline never counts as a success.
+  if (any_attempt_failed && servable) retry_successes_->Inc();
   if (options_.cache_enabled && servable && data_epoch == key.epoch &&
       key.epoch == epoch_.load(std::memory_order_acquire)) {
     // Two epoch guards close the reload races. data_epoch == key.epoch: an

@@ -921,6 +921,46 @@ TEST(FaultScriptTest, ParsesSeedPhasesWindowsAndComments) {
   EXPECT_EQ(script->phases[2].actions[0].kind, FaultKind::kRecover);
 }
 
+TEST(FaultScriptTest, KeepsEmptyLeadingAndConsecutivePhases) {
+  // The fig9 recovery shape: a deliberately fault-free 'pre' phase opens
+  // the script. Only the implicit empty "main" preamble may be dropped —
+  // every named phase survives, even with no actions, or every phase label
+  // after it misaligns by one run.
+  auto script = FaultScript::Parse(
+      "seed 902\n"
+      "phase pre\n"
+      "phase fault\n@0 crash 1\n"
+      "phase healed\n@0 recover 1\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->phases.size(), 3u);
+  EXPECT_EQ(script->phases[0].name, "pre");
+  EXPECT_TRUE(script->phases[0].actions.empty());
+  EXPECT_EQ(script->phases[1].name, "fault");
+  ASSERT_EQ(script->phases[1].actions.size(), 1u);
+  EXPECT_EQ(script->phases[1].actions[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(script->phases[2].name, "healed");
+  ASSERT_EQ(script->phases[2].actions.size(), 1u);
+  EXPECT_EQ(script->phases[2].actions[0].kind, FaultKind::kRecover);
+
+  // Consecutive and trailing empty phases are all kept too.
+  auto gaps = FaultScript::Parse(
+      "@1 crash 0\nphase a\nphase b\n@2 recover 0\nphase c\n");
+  ASSERT_TRUE(gaps.ok()) << gaps.status().ToString();
+  ASSERT_EQ(gaps->phases.size(), 4u);
+  EXPECT_EQ(gaps->phases[0].name, "main");  // Preamble with actions stays.
+  EXPECT_EQ(gaps->phases[1].name, "a");
+  EXPECT_TRUE(gaps->phases[1].actions.empty());
+  EXPECT_EQ(gaps->phases[2].name, "b");
+  EXPECT_EQ(gaps->phases[3].name, "c");
+  EXPECT_TRUE(gaps->phases[3].actions.empty());
+
+  // An empty script still parses to a single (disabled) "main" phase.
+  auto empty = FaultScript::Parse("# nothing\n");
+  ASSERT_TRUE(empty.ok());
+  ASSERT_EQ(empty->phases.size(), 1u);
+  EXPECT_EQ(empty->phases[0].name, "main");
+}
+
 TEST(FaultScriptTest, RejectsMalformedLines) {
   for (const char* bad : {
            "seed x",                // Non-numeric seed.
@@ -1246,6 +1286,15 @@ TEST(AdaptiveAdmissionTest, BrownOutShedsHeavyArrivalsAndSparesCheap) {
   const AdmissionStats browned = ac.stats();
   EXPECT_EQ(browned.shed_brownout, 1);
   EXPECT_EQ(browned.shed_queue_full, 1);  // Attribution is a subset count.
+
+  // Mild degradation — one slow shard in a 32-fleet (31.5/32 = 0.984) —
+  // stays above the brown-out threshold: heavy arrivals queue and admit
+  // normally instead of hitting a shed-on-arrival cliff.
+  ac.SetCapacityFactor(31.5 / 32.0);
+  EXPECT_EQ(ac.Admit(std::nullopt, nullptr, kHeavy, &heavy),
+            AdmissionOutcome::kAdmitted);
+  EXPECT_TRUE(heavy);
+  ac.Release(kHeavy, 0.050, heavy);
 
   // Capacity restored: heavy flows again (the cap floors at one slot at
   // full health).

@@ -27,7 +27,10 @@ depends on but that neither the compiler nor clang-tidy enforces:
                         ShardCrashed, ShardLatencySeconds,
                         DrawTransientError, ConsumeReloadFailure) in
                         src/serving/ outside faults.{h,cc} must sit inside
-                        a scope guarded by an `enabled()` check. The
+                        a scope guarded by an `enabled()` check — either
+                        the positive `if (f && f->enabled()) { ... }`
+                        style or the inverted early-return style
+                        `if (f == nullptr || !f->enabled()) return;`. The
                         injector's no-fault fast path is one relaxed atomic
                         load; calling a hook unguarded either crashes on
                         the null default or silently pays mutex/tick costs
@@ -151,6 +154,19 @@ def balanced_args(code, open_paren):
     return code[open_paren + 1:]
 
 
+def matching_brace(code, open_brace):
+    """Returns the index of the '}' closing the '{' at open_brace, or -1."""
+    depth = 0
+    for j in range(open_brace, len(code)):
+        if code[j] == "{":
+            depth += 1
+        elif code[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
 class Finding:
     def __init__(self, path, line, rule, message):
         self.path, self.line, self.rule, self.message = (
@@ -235,15 +251,24 @@ def check_fault_hook_guard(path, code):
     condition mentions enabled() guards its braced block (tracked by brace
     depth), its brace-less statement (up to the next ';'), and the
     condition text itself (so `f->enabled() && f->ShardCrashed(s)`
-    short-circuits count). Applies only to src/serving/ and exempts the
-    injector's own files, where the hooks are defined and self-call.
+    short-circuits count). An *inverted* guard that unconditionally leaves
+    — `if (f == nullptr || !f->enabled()) return;` (brace-less or a braced
+    body ending in return) — guards the remainder of its enclosing block.
+    Not modeled: hooks in the `else` branch of an inverted guard — write
+    those positive-if or early-return style, or waive inline. Applies only
+    to src/serving/ and exempts the injector's own files, where the hooks
+    are defined and self-call.
     """
     norm = str(path).replace("\\", "/")
     if "src/serving/" not in norm or norm.endswith(("/faults.h",
                                                     "/faults.cc")):
         return
     depth = 0
-    guard_depths = []    # brace depths of open enabled()-guarded blocks
+    # Open guards as (brace_depth, position the guarantee starts at): a
+    # positive guard covers its block from the '{', an inverted
+    # early-return guard covers the enclosing block from just past the
+    # return — hooks *inside* the disabled-path body stay flagged.
+    guards = []
     guarded_spans = []   # (start, end) ranges guarded without a brace scope
     expected_brace = -1  # position of the '{' opening a pending guard block
     for m in re.finditer(r"[{}]|\bif\s*\(|" + FAULT_HOOK_RE.pattern, code):
@@ -251,11 +276,11 @@ def check_fault_hook_guard(path, code):
         if tok == "{":
             depth += 1
             if m.start() == expected_brace:
-                guard_depths.append(depth)
+                guards.append((depth, m.start()))
                 expected_brace = -1
         elif tok == "}":
             depth -= 1
-            guard_depths = [d for d in guard_depths if d <= depth]
+            guards = [(d, p) for (d, p) in guards if d <= depth]
         elif tok.startswith("if"):
             open_paren = m.end() - 1
             cond = balanced_args(code, open_paren)
@@ -263,18 +288,39 @@ def check_fault_hook_guard(path, code):
                 continue
             close = open_paren + 1 + len(cond)  # position of ')'
             guarded_spans.append((open_paren, close))
+            # A not applied to the enabled() call itself (`!f->enabled()`)
+            # marks the inverted idiom: the branch body is the *disabled*
+            # path. A `!` elsewhere (`enabled() && !crashed`) stays a
+            # positive guard.
+            inverted = re.search(r"!\s*(?:[\w.]|->|::)*enabled\s*\(",
+                                 cond) is not None
             j = close + 1
             while j < len(code) and code[j].isspace():
                 j += 1
             if j < len(code) and code[j] == "{":
-                expected_brace = j
+                if inverted:
+                    # Inverted braced guard: when the body unconditionally
+                    # returns, everything after it in the enclosing block
+                    # runs with the injector known enabled.
+                    end = matching_brace(code, j)
+                    body = code[j + 1:end] if end != -1 else code[j + 1:]
+                    if end != -1 and re.search(r"\breturn\b[^;{}]*;\s*$",
+                                               body):
+                        guards.append((depth, end + 1))
+                else:
+                    expected_brace = j
             else:  # Brace-less guarded statement.
                 stmt_end = code.find(";", close)
-                guarded_spans.append(
-                    (close, stmt_end if stmt_end != -1 else len(code)))
+                if inverted:
+                    if stmt_end != -1 and re.match(r"return\b", code[j:]):
+                        guards.append((depth, stmt_end + 1))
+                else:
+                    guarded_spans.append(
+                        (close, stmt_end if stmt_end != -1 else len(code)))
         else:  # Hook call.
             pos = m.start()
-            if guard_depths or any(a <= pos < b for a, b in guarded_spans):
+            if (any(pos >= p for (_, p) in guards) or
+                    any(a <= pos < b for a, b in guarded_spans)):
                 continue
             yield Finding(
                 path, line_of(code, pos), "fault-hook-guard",
