@@ -16,6 +16,7 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "plan/plan_engine.h"
 #include "workload/report.h"
 
 namespace genbase::bench {
@@ -141,6 +142,7 @@ const std::vector<ServingEngineSpec>& ServingEngines() {
       {"scidb", "SciDB", engine::CreateSciDb},
       {"col_udf", "Column store + UDFs", engine::CreateColumnStoreUdf},
       {"col_r", "Column store + R", engine::CreateColumnStoreR},
+      {"plan", "Planned column store", plan::CreatePlanStore},
   };
   return *engines;
 }

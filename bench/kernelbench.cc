@@ -27,13 +27,21 @@
 #include "bench/bench_util.h"
 #include "bicluster/cheng_church.h"
 #include "bicluster/synthetic.h"
+#include "common/check.h"
+#include "common/exec_context.h"
+#include "common/memory_tracker.h"
 #include "common/rng.h"
+#include "common/sanitizers.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
+#include "core/generator.h"
+#include "engine/engine_util.h"
 #include "linalg/blas.h"
 #include "linalg/covariance.h"
 #include "linalg/matrix.h"
 #include "obs/perf_counters.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_engine.h"
 
 namespace {
 
@@ -242,6 +250,216 @@ void RegisterAll(ThreadPool* pool) {
   }
 }
 
+/// --- static-plan query benches ----------------------------------------------
+/// plan_compile/qN times one full CompileQuery (filters, joins, mappings,
+/// schedule, memory plan); plan_execute/qN times one cached-plan execution;
+/// legacy_execute/qN is the per-run PrepareInputsColumnar + analytics path
+/// the plan replaces, on the same tables and kernels.
+
+constexpr double kPlanScale = 0.02;
+
+genbase::core::QueryParams PlanParams() {
+  genbase::core::QueryParams p;
+  p.svd_rank = 6;
+  p.bicluster_count = 2;
+  p.sample_fraction = 0.1;
+  return p;
+}
+
+struct PlanBench {
+  genbase::plan::PlanEngine engine;
+  std::shared_ptr<genbase::engine::ColumnarTables> tables;
+  genbase::MemoryTracker legacy_tracker{genbase::MemoryTracker::kUnlimited,
+                                        "LegacyBench"};
+
+  static PlanBench& Get() {
+    static auto* b = [] {
+      auto* pb = new PlanBench();
+      auto data = genbase::core::GenerateDataset(
+          genbase::core::DatasetSize::kSmall, kPlanScale);
+      GENBASE_CHECK(data.ok());
+      GENBASE_CHECK(pb->engine.LoadDataset(*data).ok());
+      pb->tables = std::make_shared<genbase::engine::ColumnarTables>();
+      GENBASE_CHECK(genbase::engine::LoadColumnarTables(
+                        *data, &pb->legacy_tracker, pb->tables.get())
+                        .ok());
+      return pb;
+    }();
+    return *b;
+  }
+};
+
+genbase::Result<genbase::core::QueryResult> RunLegacyQuery(
+    PlanBench& b, genbase::core::QueryId q, genbase::ExecContext* ctx) {
+  GENBASE_ASSIGN_OR_RETURN(
+      genbase::engine::QueryInputs inputs,
+      genbase::engine::PrepareInputsColumnar(*b.tables, q, PlanParams(), ctx));
+  return genbase::engine::RunStandardAnalytics(
+      q, std::move(inputs), PlanParams(),
+      genbase::linalg::KernelQuality::kTuned, ctx);
+}
+
+void RegisterPlanBenches() {
+  auto reg = [](const std::string& name, auto fn) {
+    benchmark::RegisterBenchmark(name.c_str(), fn)
+        ->MinTime(0.05)
+        ->Unit(benchmark::kMicrosecond);
+  };
+  for (const auto q : genbase::core::kAllQueries) {
+    const std::string qn = genbase::core::QueryName(q);
+    reg("plan_compile/" + qn, [q](benchmark::State& state) {
+      ScopedBackend sb(kSimd);
+      PlanBench& b = PlanBench::Get();
+      genbase::ExecContext ctx;
+      b.engine.PrepareContext(&ctx);
+      for (auto _ : state) {
+        auto plan = genbase::plan::CompileQuery(b.tables, q, PlanParams(),
+                                                b.engine.tracker(), &ctx);
+        GENBASE_CHECK(plan.ok());
+        benchmark::DoNotOptimize(plan);
+      }
+    });
+    reg("plan_execute/" + qn, [q](benchmark::State& state) {
+      ScopedBackend sb(kSimd);
+      PlanBench& b = PlanBench::Get();
+      genbase::ExecContext ctx;
+      b.engine.PrepareContext(&ctx);
+      // Warm the plan cache so the loop times execution, not compilation.
+      GENBASE_CHECK(b.engine.RunQuery(q, PlanParams(), &ctx).ok());
+      for (auto _ : state) {
+        auto r = b.engine.RunQuery(q, PlanParams(), &ctx);
+        GENBASE_CHECK(r.ok());
+        benchmark::DoNotOptimize(r);
+      }
+    });
+    reg("legacy_execute/" + qn, [q](benchmark::State& state) {
+      ScopedBackend sb(kSimd);
+      PlanBench& b = PlanBench::Get();
+      genbase::ExecContext ctx;
+      ctx.set_memory(&b.legacy_tracker);
+      for (auto _ : state) {
+        auto r = RunLegacyQuery(b, q, &ctx);
+        GENBASE_CHECK(r.ok());
+        benchmark::DoNotOptimize(r);
+      }
+    });
+  }
+}
+
+/// Deterministic plan gates, enforced on every run (no clock involved):
+/// every compiled plan's predicted arena peak must equal the observed
+/// execute-time high-water mark, at least one of Q1–Q5 must reuse arena
+/// bytes, and the planned engine's total tracked peak must stay within a
+/// documented factor of the legacy path's.
+int RunPlanGates() {
+  int failures = 0;
+  PlanBench& b = PlanBench::Get();
+  genbase::ExecContext ctx;
+  b.engine.PrepareContext(&ctx);
+  int64_t total_reused = 0;
+  for (const auto q : genbase::core::kAllQueries) {
+    auto plan = b.engine.CompileForTest(q, PlanParams(), &ctx);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "GATE FAIL: plan compile %s: %s\n",
+                   genbase::core::QueryName(q),
+                   plan.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto r = b.engine.RunQuery(q, PlanParams(), &ctx);
+    if (!r.ok()) {
+      std::fprintf(stderr, "GATE FAIL: plan execute %s: %s\n",
+                   genbase::core::QueryName(q),
+                   r.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    total_reused += (*plan)->memory_plan().reused_bytes;
+    if ((*plan)->observed_peak_bytes() !=
+        (*plan)->memory_plan().arena_bytes) {
+      std::fprintf(stderr,
+                   "GATE FAIL: %s arena peak mismatch: observed %lld vs "
+                   "predicted %lld\n",
+                   genbase::core::QueryName(q),
+                   static_cast<long long>((*plan)->observed_peak_bytes()),
+                   static_cast<long long>((*plan)->memory_plan().arena_bytes));
+      ++failures;
+    }
+  }
+  if (total_reused <= 0) {
+    std::fprintf(stderr,
+                 "GATE FAIL: no arena bytes reused across Q1-Q5 (planner "
+                 "reuse regressed)\n");
+    ++failures;
+  }
+  // Memory-peak gate: run the five legacy queries against the legacy
+  // tracker (tables + tracked per-run temporaries), then compare engine
+  // totals. The planned engine's peak additionally holds five cached
+  // plans' statics (join index, mappings — precomputed DM state the legacy
+  // path rebuilds per run, largely through untracked std::vectors) plus
+  // their pooled arenas, so parity is not the bar; staying within 2.5x is.
+  // A planner or statics blow-up trips this long before it hurts RSS.
+  {
+    genbase::ExecContext legacy_ctx;
+    legacy_ctx.set_memory(&b.legacy_tracker);
+    for (const auto q : genbase::core::kAllQueries) {
+      auto r = RunLegacyQuery(b, q, &legacy_ctx);
+      if (!r.ok()) {
+        std::fprintf(stderr, "GATE FAIL: legacy execute %s: %s\n",
+                     genbase::core::QueryName(q),
+                     r.status().ToString().c_str());
+        ++failures;
+      }
+    }
+  }
+  const int64_t plan_peak = b.engine.tracker()->peak();
+  const int64_t legacy_peak = b.legacy_tracker.peak();
+  if (2 * plan_peak > 5 * legacy_peak) {
+    std::fprintf(stderr,
+                 "GATE FAIL: planned engine peak %lldB > 2.5x legacy "
+                 "%lldB\n",
+                 static_cast<long long>(plan_peak),
+                 static_cast<long long>(legacy_peak));
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("# plan gates passed: reused=%lldB peak planned=%lldB "
+                "legacy=%lldB\n",
+                static_cast<long long>(total_reused),
+                static_cast<long long>(plan_peak),
+                static_cast<long long>(legacy_peak));
+  }
+  return failures;
+}
+
+/// Relative planned-vs-legacy throughput gate: cached planned execution
+/// must not run slower than the per-run prepare+analytics path it replaces
+/// (>10% grace). Clock-dependent, so CI (--baseline) mode only; sanitizer
+/// builds skip it — instrumentation taxes the two paths asymmetrically.
+bool SkipOverheadGates() {
+  if (genbase::kUnderSanitizer) return true;
+  const char* env = std::getenv("GENBASE_SKIP_OVERHEAD_GATES");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+int RunPlanSpeedGates() {
+  int failures = 0;
+  for (const auto q : genbase::core::kAllQueries) {
+    const std::string qn = genbase::core::QueryName(q);
+    const auto planned = Results().find("plan_execute/" + qn);
+    const auto legacy = Results().find("legacy_execute/" + qn);
+    if (planned == Results().end() || legacy == Results().end()) continue;
+    if (planned->second > legacy->second * 1.10) {
+      std::fprintf(stderr,
+                   "GATE FAIL: plan_execute/%s %.0fns slower than legacy "
+                   "%.0fns (>10%%)\n",
+                   qn.c_str(), planned->second, legacy->second);
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 /// One counted extraction per engine, for the FLOP-reduction gate and the
 /// per-iteration timing lines.
 struct ResidueAccounting {
@@ -415,6 +633,7 @@ int main(int argc, char** argv) {
 
   ThreadPool* pool = genbase::DefaultPool();
   RegisterAll(pool);
+  RegisterPlanBenches();
   CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
@@ -464,6 +683,19 @@ int main(int argc, char** argv) {
                  "GATE FAIL: incremental Cheng-Church flop ratio %.2fx < 5x\n",
                  acc.flop_ratio());
     ++failures;
+  }
+
+  // Static-plan gates: arena-peak exactness, reuse and memory ceiling are
+  // deterministic — every run; the planned-vs-legacy speed ratio is CI-only.
+  failures += RunPlanGates();
+
+  if (!baseline_path.empty()) {
+    if (SkipOverheadGates()) {
+      std::printf("# plan speed gates skipped (sanitizer build or "
+                  "GENBASE_SKIP_OVERHEAD_GATES)\n");
+    } else {
+      failures += RunPlanSpeedGates();
+    }
   }
 
   if (!baseline_path.empty()) {

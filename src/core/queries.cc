@@ -90,6 +90,25 @@ genbase::Result<RegressionSummary> RegressionAnalytics(
   return s;
 }
 
+genbase::Result<RegressionSummary> RegressionAnalytics(
+    const linalg::MatrixView& design_with_intercept,
+    const std::vector<double>& y, ExecContext* ctx) {
+  RegressionSummary s;
+  s.rows = design_with_intercept.rows;
+  s.predictors = design_with_intercept.cols - 1;
+  GENBASE_ASSIGN_OR_RETURN(
+      linalg::LeastSquaresFit fit,
+      linalg::LeastSquaresQr(design_with_intercept, y, ctx));
+  s.r_squared = fit.r_squared;
+  double l2 = 0.0;
+  for (double c : fit.coefficients) l2 += c * c;
+  s.coef_l2 = std::sqrt(l2);
+  const size_t head = std::min<size_t>(8, fit.coefficients.size());
+  s.coef_head.assign(fit.coefficients.begin(),
+                     fit.coefficients.begin() + head);
+  return s;
+}
+
 genbase::Result<CovarianceSummary> CovarianceAnalytics(
     const linalg::MatrixView& x, const std::vector<int64_t>& gene_ids,
     const GeneMetaLookup& meta, double quantile,
@@ -107,9 +126,6 @@ genbase::Result<CovarianceSummary> CovarianceThresholdJoin(
     const linalg::Matrix& cov, int64_t samples,
     const std::vector<int64_t>& gene_ids, const GeneMetaLookup& meta,
     double quantile, ExecContext* ctx) {
-  CovarianceSummary s;
-  s.samples = samples;
-  s.genes = cov.rows();
   // Upper-triangle values for the threshold quantile.
   const int64_t n = cov.rows();
   const int64_t num_pairs = n * (n - 1) / 2;
@@ -117,16 +133,38 @@ genbase::Result<CovarianceSummary> CovarianceThresholdJoin(
   GENBASE_ASSIGN_OR_RETURN(
       auto reservation,
       ScopedReservation::Acquire(tracker, num_pairs * 8));
-  std::vector<double> upper;
-  upper.reserve(static_cast<size_t>(num_pairs));
+  std::vector<double> upper(static_cast<size_t>(num_pairs));
+  const linalg::MatrixView cov_view(cov);
+  GENBASE_RETURN_NOT_OK(CovarianceExtractUpper(cov_view, upper.data(), ctx));
+  GENBASE_ASSIGN_OR_RETURN(const double threshold,
+                           stats::Quantile(upper, quantile));
+  return CovarianceJoinPass(cov_view, samples, threshold, gene_ids, meta,
+                            ctx);
+}
+
+genbase::Status CovarianceExtractUpper(const linalg::MatrixView& cov,
+                                       double* upper, ExecContext* ctx) {
+  const int64_t n = cov.rows;
+  int64_t k = 0;
   for (int64_t i = 0; i < n; ++i) {
     if (ctx != nullptr && (i & 255) == 0) {
       GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
     }
-    for (int64_t j = i + 1; j < n; ++j) upper.push_back(cov(i, j));
+    for (int64_t j = i + 1; j < n; ++j) upper[k++] = cov(i, j);
   }
-  GENBASE_ASSIGN_OR_RETURN(s.threshold, stats::Quantile(upper, quantile));
+  return Status::OK();
+}
+
+genbase::Result<CovarianceSummary> CovarianceJoinPass(
+    const linalg::MatrixView& cov, int64_t samples, double threshold,
+    const std::vector<int64_t>& gene_ids, const GeneMetaLookup& meta,
+    ExecContext* ctx) {
+  CovarianceSummary s;
+  s.samples = samples;
+  s.genes = cov.rows;
+  s.threshold = threshold;
   // Threshold pass + metadata join for qualifying pairs.
+  const int64_t n = cov.rows;
   for (int64_t i = 0; i < n; ++i) {
     if (ctx != nullptr && (i & 255) == 0) {
       GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
@@ -152,6 +190,13 @@ genbase::Result<BiclusterSummary> BiclusterAnalytics(
   BiclusterSummary s;
   s.matrix_rows = x.rows;
   s.matrix_cols = x.cols;
+  // Index temporaries charged to the run's tracker so per-op
+  // alloc_delta_bytes stays exact even for Q3's setup vectors.
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+  GENBASE_ASSIGN_OR_RETURN(
+      auto index_reservation,
+      ScopedReservation::Acquire(
+          tracker, (x.rows + x.cols) * static_cast<int64_t>(sizeof(int64_t))));
   std::vector<int64_t> all_rows(static_cast<size_t>(x.rows));
   std::vector<int64_t> all_cols(static_cast<size_t>(x.cols));
   for (int64_t i = 0; i < x.rows; ++i) all_rows[i] = i;
@@ -198,19 +243,34 @@ genbase::Result<StatsSummary> StatsAnalytics(
     const std::vector<double>& gene_scores,
     const std::vector<std::vector<int64_t>>& memberships,
     double significance, ExecContext* ctx) {
+  return StatsAnalytics(gene_scores.data(),
+                        static_cast<int64_t>(gene_scores.size()), memberships,
+                        significance, ctx);
+}
+
+genbase::Result<StatsSummary> StatsAnalytics(
+    const double* gene_scores, int64_t count,
+    const std::vector<std::vector<int64_t>>& memberships,
+    double significance, ExecContext* ctx) {
   StatsSummary s;
-  s.genes_ranked = static_cast<int64_t>(gene_scores.size());
-  std::vector<bool> mask(gene_scores.size(), false);
+  s.genes_ranked = count;
+  // The group mask is reused across terms; charge its packed-bit footprint
+  // so per-op alloc_delta_bytes stays exact.
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+  GENBASE_ASSIGN_OR_RETURN(auto mask_reservation,
+                           ScopedReservation::Acquire(tracker, (count + 7) / 8));
+  std::vector<bool> mask(static_cast<size_t>(count), false);
   for (const auto& members : memberships) {
     if (ctx != nullptr) GENBASE_RETURN_NOT_OK(ctx->CheckBudgets());
     if (members.empty() ||
-        members.size() == gene_scores.size()) {
+        static_cast<int64_t>(members.size()) == count) {
       continue;  // Test undefined when a group is empty.
     }
     std::fill(mask.begin(), mask.end(), false);
     for (int64_t g : members) mask[static_cast<size_t>(g)] = true;
-    GENBASE_ASSIGN_OR_RETURN(stats::RankSumResult r,
-                             stats::WilcoxonRankSum(gene_scores, mask));
+    GENBASE_ASSIGN_OR_RETURN(
+        stats::RankSumResult r,
+        stats::WilcoxonRankSum(gene_scores, count, mask));
     ++s.terms_tested;
     if (r.p_two_sided < significance) ++s.significant_terms;
     s.z_abs_sum += std::fabs(r.z);

@@ -1,5 +1,6 @@
 #include "linalg/covariance.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "linalg/blas.h"
@@ -8,13 +9,18 @@ namespace genbase::linalg {
 
 std::vector<double> ColumnMeans(const MatrixView& x) {
   std::vector<double> means(static_cast<size_t>(x.cols), 0.0);
+  ColumnMeansInto(x, means.data());
+  return means;
+}
+
+void ColumnMeansInto(const MatrixView& x, double* means) {
+  std::fill_n(means, static_cast<size_t>(x.cols), 0.0);
   for (int64_t i = 0; i < x.rows; ++i) {
     const double* row = x.data + i * x.stride;
     for (int64_t j = 0; j < x.cols; ++j) means[j] += row[j];
   }
   const double inv = x.rows > 0 ? 1.0 / static_cast<double>(x.rows) : 0.0;
-  for (auto& m : means) m *= inv;
-  return means;
+  for (int64_t j = 0; j < x.cols; ++j) means[j] *= inv;
 }
 
 genbase::Result<Matrix> CovarianceMatrix(const MatrixView& x,

@@ -30,7 +30,31 @@ genbase::Result<HouseholderQr> HouseholderQr::Factor(Matrix a,
     for (int64_t j = 0; j < n; ++j) qrt(j, i) = row[j];
   }
   a = Matrix();  // Release the input copy early.
+  return FactorPacked(std::move(qrt), m, n, ctx);
+}
 
+genbase::Result<HouseholderQr> HouseholderQr::Factor(const MatrixView& a,
+                                                     ExecContext* ctx) {
+  const int64_t m = a.rows;
+  const int64_t n = a.cols;
+  if (m < n) {
+    return Status::InvalidArgument("QR requires rows >= cols, got " +
+                                   std::to_string(m) + " x " +
+                                   std::to_string(n));
+  }
+  MemoryTracker* tracker = ctx != nullptr ? ctx->memory() : nullptr;
+  GENBASE_ASSIGN_OR_RETURN(Matrix qrt, Matrix::Create(n, m, tracker));
+  for (int64_t i = 0; i < m; ++i) {
+    const double* row = a.data + i * a.stride;
+    for (int64_t j = 0; j < n; ++j) qrt(j, i) = row[j];
+  }
+  return FactorPacked(std::move(qrt), m, n, ctx);
+}
+
+genbase::Result<HouseholderQr> HouseholderQr::FactorPacked(Matrix qrt,
+                                                           int64_t m,
+                                                           int64_t n,
+                                                           ExecContext* ctx) {
   ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
   std::vector<double> tau(static_cast<size_t>(n), 0.0);
   for (int64_t k = 0; k < n; ++k) {
@@ -162,6 +186,33 @@ genbase::Result<LeastSquaresFit> LeastSquaresQr(Matrix a,
 
   GENBASE_ASSIGN_OR_RETURN(HouseholderQr qr,
                            HouseholderQr::Factor(std::move(a), ctx));
+  std::vector<double> qtb = b;
+  qr.ApplyQTranspose(qtb.data());
+  LeastSquaresFit fit;
+  fit.coefficients.resize(static_cast<size_t>(n));
+  GENBASE_RETURN_NOT_OK(qr.SolveR(qtb.data(), fit.coefficients.data()));
+  double rss = 0.0;
+  for (int64_t i = n; i < m; ++i) rss += qtb[i] * qtb[i];
+  fit.residual_norm = std::sqrt(rss);
+  fit.r_squared = tss > 0 ? 1.0 - rss / tss : 0.0;
+  return fit;
+}
+
+genbase::Result<LeastSquaresFit> LeastSquaresQr(const MatrixView& a,
+                                                const std::vector<double>& b,
+                                                ExecContext* ctx) {
+  const int64_t m = a.rows;
+  const int64_t n = a.cols;
+  if (static_cast<int64_t>(b.size()) != m) {
+    return Status::InvalidArgument("rhs length mismatch");
+  }
+  double mean_b = 0.0;
+  for (double v : b) mean_b += v;
+  mean_b /= static_cast<double>(m);
+  double tss = 0.0;
+  for (double v : b) tss += (v - mean_b) * (v - mean_b);
+
+  GENBASE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(a, ctx));
   std::vector<double> qtb = b;
   qr.ApplyQTranspose(qtb.data());
   LeastSquaresFit fit;

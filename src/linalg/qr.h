@@ -22,6 +22,12 @@ class HouseholderQr {
   static genbase::Result<HouseholderQr> Factor(Matrix a,
                                                ExecContext* ctx = nullptr);
 
+  /// Factors the viewed matrix without consuming caller storage (the
+  /// transposed packed copy is still made). Bit-identical to the consuming
+  /// overload — both run the same packed Householder loop.
+  static genbase::Result<HouseholderQr> Factor(const MatrixView& a,
+                                               ExecContext* ctx = nullptr);
+
   int64_t rows() const { return qrt_.cols(); }
   int64_t cols() const { return qrt_.rows(); }
 
@@ -48,6 +54,12 @@ class HouseholderQr {
   HouseholderQr(Matrix qrt, std::vector<double> tau)
       : qrt_(std::move(qrt)), tau_(std::move(tau)) {}
 
+  /// Householder loop over a pre-packed transposed matrix; the single code
+  /// path behind both Factor overloads.
+  static genbase::Result<HouseholderQr> FactorPacked(Matrix qrt, int64_t m,
+                                                     int64_t n,
+                                                     ExecContext* ctx);
+
   Matrix qrt_;
   std::vector<double> tau_;
 };
@@ -63,6 +75,13 @@ struct LeastSquaresFit {
 /// kernel of GenBase Query 1 ("we use a QR decomposition technique to solve
 /// the linear regression problem"). A is consumed.
 genbase::Result<LeastSquaresFit> LeastSquaresQr(Matrix a,
+                                                const std::vector<double>& b,
+                                                ExecContext* ctx = nullptr);
+
+/// View overload for callers whose design matrix lives in externally planned
+/// storage (the static-plan arena). Same arithmetic order as the consuming
+/// overload, so results are bitwise identical.
+genbase::Result<LeastSquaresFit> LeastSquaresQr(const MatrixView& a,
                                                 const std::vector<double>& b,
                                                 ExecContext* ctx = nullptr);
 

@@ -1,0 +1,40 @@
+#include "plan/arena.h"
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace genbase::plan {
+
+genbase::Result<std::unique_ptr<PlanArena>> PlanArena::Create(
+    int64_t bytes, int64_t alignment, MemoryTracker* tracker) {
+  if (alignment < 64 || (alignment & (alignment - 1)) != 0) {
+    return genbase::Status::InvalidArgument(
+        "arena alignment must be a power of two >= 64");
+  }
+  if (bytes < 0) {
+    return genbase::Status::InvalidArgument("negative arena size");
+  }
+  const int64_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  const int64_t total = rounded + alignment;
+  GENBASE_ASSIGN_OR_RETURN(ScopedReservation reservation,
+                           ScopedReservation::Acquire(tracker, total));
+  const auto total_bytes = static_cast<size_t>(total);
+  // lint:allow(plan-arena-alloc): this IS the arena's one backing allocation.
+  std::unique_ptr<unsigned char[]> storage(new (std::nothrow)
+                                               unsigned char[total_bytes]);
+  if (storage == nullptr) {
+    return genbase::Status::OutOfMemory("arena allocation failed");
+  }
+  auto addr = reinterpret_cast<uintptr_t>(storage.get());
+  const uintptr_t aligned =
+      (addr + static_cast<uintptr_t>(alignment) - 1) &
+      ~(static_cast<uintptr_t>(alignment) - 1);
+  unsigned char* base = storage.get() + (aligned - addr);
+  return std::unique_ptr<PlanArena>(
+      // lint:allow(raw-new-delete): private ctor, unreachable by make_unique.
+      new PlanArena(std::move(storage), base, rounded, alignment,
+                    std::move(reservation)));
+}
+
+}  // namespace genbase::plan

@@ -1,0 +1,33 @@
+#ifndef GENBASE_PLAN_PLAN_BUILDER_H_
+#define GENBASE_PLAN_PLAN_BUILDER_H_
+
+#include <memory>
+
+#include "common/exec_context.h"
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "core/queries.h"
+#include "engine/engine_util.h"
+#include "plan/compiled_plan.h"
+
+namespace genbase::plan {
+
+/// \brief Compiles one query against a dataset snapshot into a static plan:
+/// runs the relational prep (filters, hash joins, dense mappings) once,
+/// builds the operator DAG with exact buffer shapes, schedules it
+/// deterministically, runs the memory planner, and binds operator closures
+/// to the planned arena offsets. The result executes any number of times
+/// against the same tables with zero per-run planning or allocation beyond
+/// one arena grab.
+///
+/// Planned execution is bitwise identical to the legacy
+/// PrepareInputsColumnar + RunStandardAnalytics path: every operator runs
+/// the same kernel entry points in the same order (property-tested).
+genbase::Result<std::shared_ptr<CompiledPlan>> CompileQuery(
+    std::shared_ptr<const engine::ColumnarTables> tables,
+    core::QueryId query, const core::QueryParams& params,
+    MemoryTracker* tracker, ExecContext* ctx);
+
+}  // namespace genbase::plan
+
+#endif  // GENBASE_PLAN_PLAN_BUILDER_H_

@@ -1,0 +1,87 @@
+#include "plan/plan_cache.h"
+
+#include <utility>
+#include <vector>
+
+namespace genbase::plan {
+
+// Tripwire (mirrors serving/result_cache.cc): the plan-cache key must keep
+// covering the full query identity. If QueryParams grows a field,
+// FingerprintParams' mix list must be updated or two different plans would
+// collide under one key; if PlanKey itself changes shape, re-audit
+// PlanKeyHash and every place a key is built.
+static_assert(sizeof(core::QueryParams) == 72,
+              "QueryParams changed: update serving::FingerprintParams and "
+              "re-audit PlanKey coverage");
+static_assert(sizeof(PlanKey) == 24,
+              "PlanKey changed: re-audit PlanKeyHash, operator== and all "
+              "key-construction sites");
+
+genbase::Result<std::shared_ptr<CompiledPlan>> PlanCache::GetOrCompile(
+    const PlanKey& key, const Compiler& compile, bool* cache_hit) {
+  for (;;) {
+    std::shared_ptr<Slot> slot;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = slots_.find(key);
+      if (it == slots_.end()) {
+        slot = std::make_shared<Slot>();
+        slots_.emplace(key, slot);
+        leader = true;
+      } else {
+        slot = it->second;
+      }
+    }
+    if (leader) {
+      auto result = compile();
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        if (result.ok()) slot->plan = *result;
+        slot->done = true;
+      }
+      if (!result.ok()) {
+        // Release the slot so the next requester retries the compile.
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = slots_.find(key);
+        if (it != slots_.end() && it->second == slot) slots_.erase(it);
+      }
+      slot->cv.notify_all();
+      if (cache_hit != nullptr) *cache_hit = false;
+      return result;
+    }
+    {
+      std::unique_lock<std::mutex> lock(slot->mu);
+      slot->cv.wait(lock, [&slot] { return slot->done; });
+      if (slot->plan != nullptr) {
+        if (cache_hit != nullptr) *cache_hit = true;
+        return slot->plan;
+      }
+    }
+    // Leader failed and released the slot; loop to retry (possibly
+    // becoming the new leader).
+  }
+}
+
+void PlanCache::EvictEpochsBelow(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first.epoch < epoch) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+}
+
+int64_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(slots_.size());
+}
+
+}  // namespace genbase::plan

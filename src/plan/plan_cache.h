@@ -1,0 +1,81 @@
+#ifndef GENBASE_PLAN_PLAN_CACHE_H_
+#define GENBASE_PLAN_PLAN_CACHE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "core/queries.h"
+#include "plan/compiled_plan.h"
+
+namespace genbase::plan {
+
+/// \brief Identity of a compiled plan: which query, which parameter values
+/// (the serving tier's full-fingerprint hash), and which dataset epoch the
+/// statics were built against. Any of the three changing means the plan is
+/// unusable — params alter shapes and thresholds, a new epoch means new
+/// tables.
+struct PlanKey {
+  core::QueryId query = core::QueryId::kRegression;
+  uint64_t params_fingerprint = 0;
+  uint64_t epoch = 0;
+
+  bool operator==(const PlanKey& o) const {
+    return query == o.query && params_fingerprint == o.params_fingerprint &&
+           epoch == o.epoch;
+  }
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.query) * 0x9e3779b97f4a7c15ULL;
+    h ^= k.params_fingerprint + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= k.epoch + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// \brief Single-flight compiled-plan cache. The first thread to request a
+/// key compiles; concurrent requesters for the same key block on the slot
+/// until the leader finishes and then share the compiled plan (one compile
+/// per key, ever). A failed compile releases the slot so the next
+/// requester retries instead of caching the error forever.
+class PlanCache {
+ public:
+  using Compiler =
+      std::function<genbase::Result<std::shared_ptr<CompiledPlan>>()>;
+
+  /// Returns the cached plan for `key`, compiling it via `compile` if
+  /// absent. `*cache_hit` is false only for the thread that ran the
+  /// compile.
+  genbase::Result<std::shared_ptr<CompiledPlan>> GetOrCompile(
+      const PlanKey& key, const Compiler& compile, bool* cache_hit);
+
+  /// Drops plans compiled against epochs older than `epoch` (dataset
+  /// reload invalidation).
+  void EvictEpochsBelow(uint64_t epoch);
+
+  void Clear();
+
+  int64_t size() const;
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<CompiledPlan> plan;  ///< Null if the compile failed.
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<PlanKey, std::shared_ptr<Slot>, PlanKeyHash> slots_;
+};
+
+}  // namespace genbase::plan
+
+#endif  // GENBASE_PLAN_PLAN_CACHE_H_

@@ -1,0 +1,54 @@
+#include "plan/scheduler.h"
+
+#include <set>
+
+namespace genbase::plan {
+
+genbase::Result<std::vector<int>> TopologicalSchedule(const PlanGraph& graph) {
+  const auto& ops = graph.ops();
+  const int num_ops = static_cast<int>(ops.size());
+
+  // producer[v] = op id that writes value v (Validate guarantees exactly
+  // one). An op depends on the producer of each of its inputs.
+  std::vector<int> producer(graph.values().size(), -1);
+  for (int o = 0; o < num_ops; ++o) {
+    for (int v : ops[static_cast<size_t>(o)].outputs) {
+      producer[static_cast<size_t>(v)] = o;
+    }
+  }
+
+  std::vector<int> indegree(static_cast<size_t>(num_ops), 0);
+  std::vector<std::vector<int>> dependents(static_cast<size_t>(num_ops));
+  for (int o = 0; o < num_ops; ++o) {
+    for (int v : ops[static_cast<size_t>(o)].inputs) {
+      const int p = producer[static_cast<size_t>(v)];
+      if (p >= 0 && p != o) {
+        dependents[static_cast<size_t>(p)].push_back(o);
+        ++indegree[static_cast<size_t>(o)];
+      }
+    }
+  }
+
+  // Ordered ready set keeps the schedule canonical: among runnable ops the
+  // lowest op id goes first, always.
+  std::set<int> ready;
+  for (int o = 0; o < num_ops; ++o) {
+    if (indegree[static_cast<size_t>(o)] == 0) ready.insert(o);
+  }
+  std::vector<int> schedule;
+  schedule.reserve(static_cast<size_t>(num_ops));
+  while (!ready.empty()) {
+    const int o = *ready.begin();
+    ready.erase(ready.begin());
+    schedule.push_back(o);
+    for (int d : dependents[static_cast<size_t>(o)]) {
+      if (--indegree[static_cast<size_t>(d)] == 0) ready.insert(d);
+    }
+  }
+  if (static_cast<int>(schedule.size()) != num_ops) {
+    return genbase::Status::InvalidArgument("plan graph has a cycle");
+  }
+  return schedule;
+}
+
+}  // namespace genbase::plan

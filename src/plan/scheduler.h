@@ -1,0 +1,21 @@
+#ifndef GENBASE_PLAN_SCHEDULER_H_
+#define GENBASE_PLAN_SCHEDULER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan_graph.h"
+
+namespace genbase::plan {
+
+/// \brief Deterministic topological schedule of the graph's ops (Kahn's
+/// algorithm, lowest-ready-op-id first). The result is the execution order
+/// and the time axis the memory planner computes buffer lifetimes over —
+/// identical graphs always schedule identically, so allocation plans are
+/// reproducible across runs and machines. Returns InvalidArgument on a
+/// cycle.
+genbase::Result<std::vector<int>> TopologicalSchedule(const PlanGraph& graph);
+
+}  // namespace genbase::plan
+
+#endif  // GENBASE_PLAN_SCHEDULER_H_

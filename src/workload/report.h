@@ -8,6 +8,7 @@
 #include "core/queries.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "plan/plan_stats.h"
 #include "serving/counters.h"
 #include "workload/latency_histogram.h"
 #include "workload/workload_spec.h"
@@ -106,6 +107,13 @@ struct WorkloadReport {
   /// measured-phase delta of cache/admission/shard counters.
   bool has_serving = false;
   serving::ServingCounters serving;
+
+  /// Set when static query plans executed during the measured phase (the
+  /// planned column store); `plan` then holds the measured-phase delta of
+  /// the plan_* counters (compiles, cache hits, executes, compile ns,
+  /// reused bytes) plus the current peak gauges.
+  bool has_plan = false;
+  plan::PlanStatsSnapshot plan;
 
   /// True when obs::Profiler was enabled for the measured phase: stage CPU
   /// sums, allocation deltas and `execute_perf` carry data. When false those

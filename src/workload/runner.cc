@@ -20,6 +20,7 @@
 #include "core/verify.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "plan/plan_stats.h"
 
 namespace genbase::workload {
 
@@ -465,6 +466,11 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
   serving::ServingCounters counters_at_measure_start;
   if (stack != nullptr) counters_at_measure_start = stack->counters();
 
+  // Plan counters likewise: warm-up compiles the plans; the measured phase
+  // should mostly show cache hits and executes.
+  const plan::PlanStatsSnapshot plan_at_measure_start =
+      plan::PlanStatsSnapshot::Capture();
+
   if (on_measure_start_) on_measure_start_();
 
   // Execute-stage hardware counters over the measured phase only (the
@@ -506,6 +512,10 @@ genbase::Result<WorkloadReport> WorkloadRunner::RunScheduled(
     report.serving =
         serving::CountersDelta(stack->counters(), counters_at_measure_start);
   }
+  report.plan = plan::PlanStatsSnapshot::Capture() - plan_at_measure_start;
+  // Plan counters are process-global; only claim them when this run's
+  // engine actually executed planned queries during the measured phase.
+  report.has_plan = report.plan.executes > 0 || report.plan.compiles > 0;
   for (const ClientState& state : clients) {
     report.total.MergeFrom(state.total);
     for (const auto& [query, stats] : state.per_query) {

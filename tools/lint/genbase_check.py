@@ -35,6 +35,16 @@ depends on but that neither the compiler nor clang-tidy enforces:
                         load; calling a hook unguarded either crashes on
                         the null default or silently pays mutex/tick costs
                         on every production op.
+  plan-arena-alloc      No dense-buffer heap allocation in src/plan/ —
+                        no Matrix construction, no std::vector<double>,
+                        no `new double[]`/`new unsigned char[]`. Every
+                        per-run buffer in the plan subsystem must come
+                        from the static memory plan's arena, or the
+                        planner's exact peak accounting (predicted ==
+                        observed, gated in kernelbench) silently turns
+                        into a lower bound. The arena's own backing
+                        allocation and per-plan statics carry inline
+                        waivers.
 
 Waivers: a finding on line N is waived by a comment on line N or N-1 of the
 form
@@ -59,6 +69,7 @@ RULES = (
     "mutex-across-run",
     "no-bare-assert",
     "fault-hook-guard",
+    "plan-arena-alloc",
 )
 
 ATOMIC_METHODS = (
@@ -328,12 +339,36 @@ def check_fault_hook_guard(path, code):
                 "— wrap in `if (faults != nullptr && faults->enabled())`")
 
 
+PLAN_ALLOC_RE = re.compile(
+    r"\bMatrix\s*\(|\bMatrix::Create\b|\bstd::vector\s*<\s*double\s*>|"
+    r"\bnew\b[^;]*?\b(?:double|unsigned char)\s*\[")
+
+
+def check_plan_arena_alloc(path, code):
+    """Flags heap allocation of dense buffers inside src/plan/.
+
+    The plan subsystem's whole point is that execution scratch is placed by
+    the static memory planner into one arena with exact peak accounting; a
+    Matrix / vector<double> / raw double[] allocated in an operator body is
+    memory the planner cannot see. Statics built once per compile (and the
+    arena's own backing store) are waived inline.
+    """
+    norm = str(path).replace("\\", "/")
+    if "src/plan/" not in norm:
+        return
+    for m in PLAN_ALLOC_RE.finditer(code):
+        yield Finding(
+            path, line_of(code, m.start()), "plan-arena-alloc",
+            "dense buffer allocated outside the plan arena — route it "
+            "through the memory plan, or waive a one-time/static allocation")
+
+
 def scan_file(path):
     text = path.read_text(encoding="utf-8")
     code, waivers = strip_comments_and_strings(text)
     findings = []
     checkers = [check_atomics, check_new_delete, check_mutex_across_run,
-                check_fault_hook_guard]
+                check_fault_hook_guard, check_plan_arena_alloc]
     # check.h implements GENBASE_CHECK itself; its aborts are the sanctioned
     # ones and carry inline waivers, which the generic path below honors.
     checkers.append(check_assert_abort)
